@@ -1,0 +1,113 @@
+// Command cbsim runs one benchmark under one protocol configuration and
+// prints the full statistics of the run.
+//
+// Usage:
+//
+//	cbsim [-bench name] [-setup name] [-cores N] [-style scalable|naive] [-entries N]
+//
+// Example:
+//
+//	cbsim -bench radiosity -setup CB-One -cores 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "radiosity", "benchmark name (see -list)")
+	setupName := flag.String("setup", "CB-One", "protocol setup: Invalidation, BackOff-{0,5,10,15}, CB-All, CB-One")
+	cores := flag.Int("cores", 64, "simulated cores (perfect square, <= 64)")
+	style := flag.String("style", "scalable", "synchronization style: scalable (CLH+TreeSR) or naive (T&T&S+SR)")
+	entries := flag.Int("entries", 4, "callback directory entries per bank")
+	traceN := flag.Int("trace", 0, "print the last N protocol/network trace events")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Profiles() {
+			fmt.Printf("%-14s (%s)\n", p.Name, p.Suite)
+		}
+		return
+	}
+	if err := run(*bench, *setupName, *cores, *style, *entries, *traceN); err != nil {
+		fmt.Fprintln(os.Stderr, "cbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, setupName string, cores int, style string, entries, traceN int) error {
+	p, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	setup, err := experiments.SetupByName(setupName)
+	if err != nil {
+		return err
+	}
+	st := workload.StyleScalable
+	switch strings.ToLower(style) {
+	case "scalable":
+	case "naive":
+		st = workload.StyleNaive
+	default:
+		return fmt.Errorf("unknown style %q", style)
+	}
+	var ring *trace.Ring
+	opts := experiments.Options{Cores: cores, CBEntries: entries}
+	if traceN > 0 {
+		ring = trace.NewRing(traceN)
+		opts.Trace = ring
+	}
+	res, err := experiments.RunBenchmark(p, setup, st, opts)
+	if err != nil {
+		return err
+	}
+	if ring != nil {
+		fmt.Fprintf(os.Stderr, "--- last %d trace events (%s) ---\n", ring.Len(), trace.Summarize(ring.Events()))
+		ring.Dump(os.Stderr)
+	}
+
+	s := res.Stats
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	defer w.Flush()
+	fmt.Fprintf(w, "benchmark\t%s (%s, %s sync, %d cores, %s)\n", p.Name, p.Suite, st, cores, setup.Name)
+	fmt.Fprintf(w, "execution time\t%d cycles\n", s.Cycles)
+	fmt.Fprintf(w, "instructions\t%d\n", s.Instructions)
+	fmt.Fprintf(w, "memory ops\t%d\n", s.MemOps)
+	fmt.Fprintf(w, "L1 accesses\t%d (%.1f%% hits)\n", s.L1Accesses, pct(s.L1Hits, s.L1Accesses))
+	fmt.Fprintf(w, "LLC accesses\t%d (%d for synchronization, %d misses)\n", s.LLCAccesses, s.LLCSyncAccesses, s.LLCMisses)
+	fmt.Fprintf(w, "network\t%d messages, %d flit-hops, %d cycles link wait\n", s.Net.Messages, s.Net.FlitHops, s.Net.LinkWait)
+	if s.CBDirAccesses > 0 {
+		fmt.Fprintf(w, "callback dir\t%d accesses, %d installs, %d evictions, %d wakes (%d stale)\n",
+			s.CBDirAccesses, s.CBInstalls, s.CBEvictions, s.CBWakes, s.CBStaleWakes)
+	}
+	fmt.Fprintf(w, "backoff stall\t%d cycles\n", s.BackoffCycles)
+	for k := isa.SyncAcquire; k < isa.NumSyncKinds; k++ {
+		if s.SyncEntries[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "sync %s\t%d episodes, mean %.0f cycles, %d LLC accesses\n",
+			k, s.SyncEntries[k], s.SyncLatency(k), s.LLCSyncByKind[k])
+	}
+	e := res.Energy
+	fmt.Fprintf(w, "energy (pJ)\tL1 %.3g, LLC %.3g, network %.3g, cbdir %.3g, total %.3g\n",
+		e.L1, e.LLC, e.Network, e.CBDir, e.Total())
+	return nil
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,33 @@
+// Package repro is a from-scratch Go reproduction of "Callback: Efficient
+// Synchronization without Invalidation with a Directory Just for
+// Spin-Waiting" (Ros & Kaxiras, ISCA 2015).
+//
+// The system is a deterministic cycle-level simulator of a 64-core chip
+// multiprocessor (8x8 mesh, private L1s, banked shared LLC) running three
+// coherence configurations: an invalidation-based MESI directory
+// baseline, a VIPS-M-style self-invalidation/self-downgrade protocol with
+// LLC spinning and exponential back-off, and the same protocol augmented
+// with the paper's callback directory. The synchronization algorithms of
+// the paper's Figures 8-19 (T&S, T&T&S, CLH, SR and TreeSR barriers,
+// signal/wait) are encoded as micro-op programs in all four flavours, and
+// 19 synthetic benchmark profiles stand in for the Splash-2 + PARSEC
+// evaluation set.
+//
+// Layout:
+//
+//   - internal/core — the callback directory (the paper's contribution)
+//   - internal/{sim,noc,cache,mem,memtypes} — simulation substrates
+//   - internal/{mesi,vips} — the coherence protocols
+//   - internal/{isa,cpu} — micro-op ISA and in-order cores
+//   - internal/{synclib,workload} — synchronization algorithms, benchmarks
+//   - internal/{machine,experiments,energy,metrics} — assembly and figures
+//   - internal/litmus — cross-protocol litmus tests and random-program checks
+//   - internal/trace — structured network/directory event tracing
+//   - cmd/cbsim, cmd/experiments — command-line tools
+//   - examples/ — runnable walkthroughs
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation at reduced scale; cmd/experiments regenerates
+// them at the paper's full 64-core scale. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for recorded paper-vs-measured results.
+package repro

@@ -1,0 +1,54 @@
+// Barrier wave: run the ocean profile (the most barrier-intensive
+// Splash-2 application) across all seven protocol configurations and
+// print execution time, traffic, and energy — a single-benchmark slice of
+// the paper's Figures 21 and 22.
+//
+// Run with: go run ./examples/barrierwave [cores]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	cores := 16
+	if len(os.Args) > 1 {
+		c, err := strconv.Atoi(os.Args[1])
+		if err != nil {
+			log.Fatalf("bad core count %q", os.Args[1])
+		}
+		cores = c
+	}
+	p, err := workload.ByName("ocean")
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := experiments.Options{Cores: cores}
+
+	fmt.Printf("ocean (%d barrier phases) on %d cores, scalable synchronization\n\n",
+		p.Phases, cores)
+	fmt.Printf("%-14s %14s %14s %14s %16s\n",
+		"setup", "cycles", "flit-hops", "LLC accesses", "energy total pJ")
+	var base float64
+	for _, s := range experiments.StandardSetups() {
+		res, err := experiments.RunBenchmark(p, s, workload.StyleScalable, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.Time()
+		}
+		fmt.Printf("%-14s %14d %14d %14d %16.3g   (time x%.3f)\n",
+			s.Name, res.Stats.Cycles, res.Stats.Net.FlitHops,
+			res.Stats.LLCAccesses, res.Energy.Total(), res.Time()/base)
+	}
+	fmt.Println("\nBarrier-heavy phases show the whole trade-off: LLC spinning buys")
+	fmt.Println("latency back with traffic (BackOff-0) or traffic back with latency")
+	fmt.Println("(BackOff-15); the callback directory gets both at once.")
+}

@@ -1,0 +1,166 @@
+// Package cache provides the generic set-associative storage used by the
+// L1 caches and LLC banks of every protocol: a tag array with true-LRU
+// replacement, per-line protocol payload, and an MSHR file for outstanding
+// misses.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/memtypes"
+)
+
+// Line is one cache line: tag state plus a protocol-defined payload P and
+// the line's data words.
+type Line[P any] struct {
+	Valid bool
+	Addr  memtypes.Addr // line-aligned address (only meaningful when Valid)
+	Data  memtypes.Line
+	State P
+
+	lru uint64
+}
+
+// Array is a set-associative cache tag/data array with true-LRU
+// replacement. P is the per-line protocol state (MESI state, VIPS dirty
+// mask, ...).
+type Array[P any] struct {
+	sets    [][]Line[P]
+	assoc   int
+	setBits int
+	tick    uint64
+
+	// Accesses counts Lookup calls; Hits counts those that hit.
+	Accesses uint64
+	Hits     uint64
+}
+
+// NewArray builds an array of totalBytes capacity with the given
+// associativity and 64-byte lines. totalBytes must be a power-of-two
+// multiple of assoc*LineBytes.
+func NewArray[P any](totalBytes, assoc int) *Array[P] {
+	if totalBytes <= 0 || assoc <= 0 {
+		panic("cache: size and associativity must be positive")
+	}
+	lines := totalBytes / memtypes.LineBytes
+	if lines%assoc != 0 {
+		panic(fmt.Sprintf("cache: %d lines not divisible by assoc %d", lines, assoc))
+	}
+	numSets := lines / assoc
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache: number of sets %d must be a power of two", numSets))
+	}
+	sets := make([][]Line[P], numSets)
+	backing := make([]Line[P], lines)
+	for i := range sets {
+		sets[i], backing = backing[:assoc:assoc], backing[assoc:]
+	}
+	return &Array[P]{
+		sets:    sets,
+		assoc:   assoc,
+		setBits: bits.TrailingZeros(uint(numSets)),
+	}
+}
+
+// Sets returns the number of sets.
+func (a *Array[P]) Sets() int { return len(a.sets) }
+
+// Assoc returns the associativity.
+func (a *Array[P]) Assoc() int { return a.assoc }
+
+func (a *Array[P]) setIndex(addr memtypes.Addr) int {
+	return int(uint64(addr)/memtypes.LineBytes) & (len(a.sets) - 1)
+}
+
+// Lookup finds the line holding addr, touching LRU state on a hit. It
+// returns nil on a miss.
+func (a *Array[P]) Lookup(addr memtypes.Addr) *Line[P] {
+	a.Accesses++
+	line := addr.Line()
+	set := a.sets[a.setIndex(addr)]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == line {
+			a.tick++
+			set[i].lru = a.tick
+			a.Hits++
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Peek finds the line holding addr without touching LRU or access
+// counters. It returns nil on a miss.
+func (a *Array[P]) Peek(addr memtypes.Addr) *Line[P] {
+	line := addr.Line()
+	set := a.sets[a.setIndex(addr)]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Victim returns the line that Allocate would replace for addr: an invalid
+// way if one exists, otherwise the LRU way. The returned line may be valid
+// (the caller must write it back or invalidate it before reuse).
+func (a *Array[P]) Victim(addr memtypes.Addr) *Line[P] {
+	set := a.sets[a.setIndex(addr)]
+	var victim *Line[P]
+	for i := range set {
+		if !set[i].Valid {
+			return &set[i]
+		}
+		if victim == nil || set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	return victim
+}
+
+// Allocate installs addr's line into the array, replacing the victim way.
+// It returns the new line and, if a valid line was evicted, a copy of it.
+// The new line's State and Data are zeroed; the caller fills them.
+func (a *Array[P]) Allocate(addr memtypes.Addr) (line *Line[P], evicted *Line[P]) {
+	if l := a.Peek(addr); l != nil {
+		panic(fmt.Sprintf("cache: allocating already-present line %s", addr.Line()))
+	}
+	v := a.Victim(addr)
+	if v.Valid {
+		ev := *v
+		evicted = &ev
+	}
+	a.tick++
+	*v = Line[P]{Valid: true, Addr: addr.Line(), lru: a.tick}
+	return v, evicted
+}
+
+// Invalidate drops addr's line if present and reports whether it did.
+func (a *Array[P]) Invalidate(addr memtypes.Addr) bool {
+	if l := a.Peek(addr); l != nil {
+		*l = Line[P]{}
+		return true
+	}
+	return false
+}
+
+// ForEach visits every valid line. The visitor may mutate the line's State
+// and Data; setting Valid false invalidates it.
+func (a *Array[P]) ForEach(fn func(*Line[P])) {
+	for s := range a.sets {
+		for i := range a.sets[s] {
+			if a.sets[s][i].Valid {
+				fn(&a.sets[s][i])
+			}
+		}
+	}
+}
+
+// CountValid returns the number of valid lines.
+func (a *Array[P]) CountValid() int {
+	n := 0
+	a.ForEach(func(*Line[P]) { n++ })
+	return n
+}

@@ -1,0 +1,101 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/memtypes"
+)
+
+// MSHR tracks one outstanding transaction on a cache line. Protocols stash
+// their transient bookkeeping in it: pending acks, the blocked requester,
+// and a queue of operations that must wait for the transaction to finish
+// (the directory-blocking discipline that keeps the protocols race-free).
+type MSHR struct {
+	Addr memtypes.Addr // line-aligned
+
+	// Core is the requester that opened the transaction.
+	Core memtypes.NodeID
+
+	// AcksPending counts invalidation acks still owed (MESI).
+	AcksPending int
+
+	// Locked marks an LLC MSHR held by an in-flight RMW (Section 2.6):
+	// any other operation on the line queues until the RMW's write or
+	// unblock releases it.
+	Locked bool
+
+	// Deferred holds operations queued behind this transaction, run in
+	// FIFO order when the transaction completes.
+	Deferred []func()
+
+	// Data stages a line while acks are collected.
+	Data memtypes.Line
+
+	// HasData records whether Data has been filled.
+	HasData bool
+
+	// Done is the protocol completion hook (e.g. respond to requester).
+	Done func()
+}
+
+// MSHRFile is a fixed-capacity set of MSHRs indexed by line address.
+type MSHRFile struct {
+	entries map[memtypes.Addr]*MSHR
+	cap     int
+
+	// Allocations counts total allocations; PeakUsed tracks the high
+	// watermark for sizing sanity checks.
+	Allocations uint64
+	PeakUsed    int
+}
+
+// NewMSHRFile returns a file with the given capacity. A capacity of 0
+// means unbounded (used where MSHR pressure is not being studied).
+func NewMSHRFile(capacity int) *MSHRFile {
+	return &MSHRFile{entries: make(map[memtypes.Addr]*MSHR), cap: capacity}
+}
+
+// Get returns the MSHR for addr's line, or nil.
+func (f *MSHRFile) Get(addr memtypes.Addr) *MSHR {
+	return f.entries[addr.Line()]
+}
+
+// Full reports whether a new allocation would exceed capacity.
+func (f *MSHRFile) Full() bool {
+	return f.cap != 0 && len(f.entries) >= f.cap
+}
+
+// Used returns the number of live entries.
+func (f *MSHRFile) Used() int { return len(f.entries) }
+
+// Alloc creates an MSHR for addr's line. It panics if one already exists
+// (callers must check Get first) or if the file is full (callers must
+// check Full and stall).
+func (f *MSHRFile) Alloc(addr memtypes.Addr, core memtypes.NodeID) *MSHR {
+	line := addr.Line()
+	if _, ok := f.entries[line]; ok {
+		panic(fmt.Sprintf("cache: MSHR already allocated for %s", line))
+	}
+	if f.Full() {
+		panic("cache: MSHR file full")
+	}
+	m := &MSHR{Addr: line, Core: core}
+	f.entries[line] = m
+	f.Allocations++
+	if len(f.entries) > f.PeakUsed {
+		f.PeakUsed = len(f.entries)
+	}
+	return m
+}
+
+// Free releases addr's MSHR and returns its deferred queue for the caller
+// to replay. It panics if no MSHR exists.
+func (f *MSHRFile) Free(addr memtypes.Addr) []func() {
+	line := addr.Line()
+	m, ok := f.entries[line]
+	if !ok {
+		panic(fmt.Sprintf("cache: freeing missing MSHR for %s", line))
+	}
+	delete(f.entries, line)
+	return m.Deferred
+}

@@ -1,0 +1,369 @@
+// Package cpu models the simple in-order cores of the simulated CMP
+// (Table 2: 64 in-order cores, 1-cycle L1). A core interprets a micro-op
+// program: ALU ops and taken branches cost one cycle, Compute ops model
+// local work, and memory ops block until the L1 port responds — exactly
+// one outstanding memory operation per core, matching the paper's
+// blocking racy operations ("no later _through operation or atomic can be
+// initiated until they complete", Section 3.2).
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/memtypes"
+	"repro/internal/sim"
+)
+
+// Config holds per-core execution parameters.
+type Config struct {
+	// BackoffBase is the initial exponential back-off interval in
+	// QUARTER cycles: the wait before the k-th consecutive retry is
+	// max(1, BackoffBase<<min(k, limit) / 4) cycles. Sub-cycle base
+	// units let the first few retries poll nearly back-to-back, the
+	// way tuned back-off implementations behave, while the ceiling
+	// still grows by the paper's "number of exponentiations".
+	BackoffBase uint64
+	// BackoffLimit is the number of exponentiations before the
+	// interval ceiling. A limit of 0 models the paper's BackOff-0,
+	// i.e. direct LLC spinning with no delay.
+	BackoffLimit int
+}
+
+// DefaultConfig mirrors the tuning used for the paper's BackOff-N
+// configurations; only the limit varies between them.
+func DefaultConfig(limit int) Config {
+	return Config{BackoffBase: 1, BackoffLimit: limit}
+}
+
+// Stats aggregates a core's execution counters.
+type Stats struct {
+	Instructions  uint64
+	MemOps        uint64
+	ComputeCycles uint64
+	BackoffCycles uint64
+	// MemStallCycles is time spent blocked on memory responses that
+	// took at least IdleGateThreshold cycles — stalls long enough to
+	// clock-gate through (blocked callbacks, LLC round trips, monitor
+	// halts), the Section 2.1 power-saving opportunity the paper leaves
+	// to future work. Short L1-hit stalls (busy spinning) do not count.
+	MemStallCycles uint64
+	DoneAt         uint64 // cycle the Done op executed
+
+	// SyncCycles and SyncEntries attribute time to synchronization
+	// phases by kind (innermost marker wins when phases nest).
+	SyncCycles  [isa.NumSyncKinds]uint64
+	SyncEntries [isa.NumSyncKinds]uint64
+	// StaleResponses counts callback reads answered by a directory
+	// eviction rather than a write.
+	StaleResponses uint64
+}
+
+// Core is one simulated in-order processor.
+type Core struct {
+	k    *sim.Kernel
+	id   memtypes.NodeID
+	port memtypes.Port
+	cfg  Config
+
+	prog *isa.Program
+	regs [isa.NumRegs]uint64
+	pc   int
+
+	// isPrivate classifies addresses as thread-private (excluded from
+	// coherence by the self-invalidation protocols).
+	isPrivate func(memtypes.Addr) bool
+
+	backoffCount int
+	syncStack    []syncFrame
+	started      bool
+	done         bool
+	onDone       func(*Core)
+
+	stats Stats
+}
+
+type syncFrame struct {
+	kind  isa.SyncKind
+	start uint64
+}
+
+// New creates a core with the given ID attached to an L1 port. classify
+// may be nil, meaning no address is private. onDone may be nil.
+func New(k *sim.Kernel, id memtypes.NodeID, port memtypes.Port, cfg Config,
+	classify func(memtypes.Addr) bool, onDone func(*Core)) *Core {
+	if classify == nil {
+		classify = func(memtypes.Addr) bool { return false }
+	}
+	return &Core{k: k, id: id, port: port, cfg: cfg, isPrivate: classify, onDone: onDone}
+}
+
+// ID returns the core's node ID.
+func (c *Core) ID() memtypes.NodeID { return c.id }
+
+// Stats returns a copy of the core's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Done reports whether the core has executed its Done op.
+func (c *Core) Done() bool { return c.done }
+
+// Reg returns the current value of register r (for tests and examples).
+func (c *Core) Reg(r isa.Reg) uint64 { return c.regs[r] }
+
+// PC returns the current program counter (diagnostics).
+func (c *Core) PC() int { return c.pc }
+
+// CurrentInstr returns the instruction at the PC, or nil when no program
+// is loaded or the core finished (diagnostics).
+func (c *Core) CurrentInstr() *isa.Instr {
+	if c.prog == nil || c.done || c.pc < 0 || c.pc >= c.prog.Len() {
+		return nil
+	}
+	return &c.prog.Ins[c.pc]
+}
+
+// SetReg presets a register before Start (program arguments: thread ID,
+// structure base addresses...).
+func (c *Core) SetReg(r isa.Reg, v uint64) { c.regs[r] = v }
+
+// Run assigns prog and schedules the core to begin at the given delay.
+func (c *Core) Run(prog *isa.Program, delay uint64) {
+	if c.started {
+		panic(fmt.Sprintf("cpu: core %d started twice", c.id))
+	}
+	if prog.Len() == 0 {
+		panic("cpu: empty program")
+	}
+	c.prog = prog
+	c.started = true
+	c.k.Schedule(delay, c.step)
+}
+
+// IdleGateThreshold is the minimum memory stall, in cycles, that counts
+// as clock-gate-able idle time (shorter stalls cannot realistically be
+// gated).
+const IdleGateThreshold = 16
+
+// maxBatch bounds how many back-to-back non-memory ops execute inside one
+// event before yielding to the kernel, so runaway ALU loops cannot stall
+// the simulation.
+const maxBatch = 4096
+
+// step executes instructions until the core blocks on memory, waits, or
+// finishes.
+func (c *Core) step() {
+	var elapsed uint64 // cycles consumed within this batch
+	for n := 0; ; n++ {
+		if n >= maxBatch {
+			c.k.Schedule(elapsed, c.step)
+			return
+		}
+		if c.pc < 0 || c.pc >= c.prog.Len() {
+			panic(fmt.Sprintf("cpu: core %d pc %d out of range", c.id, c.pc))
+		}
+		in := &c.prog.Ins[c.pc]
+		c.stats.Instructions++
+		switch in.Op {
+		case isa.Nop:
+			elapsed++
+			c.pc++
+		case isa.Imm:
+			c.regs[in.Rd] = in.ImmVal
+			elapsed++
+			c.pc++
+		case isa.Mov:
+			c.regs[in.Rd] = c.regs[in.Rs]
+			elapsed++
+			c.pc++
+		case isa.Add:
+			c.regs[in.Rd] = c.regs[in.Rs] + c.regs[in.Rt]
+			elapsed++
+			c.pc++
+		case isa.Addi:
+			c.regs[in.Rd] = c.regs[in.Rs] + in.ImmVal
+			elapsed++
+			c.pc++
+		case isa.Sub:
+			c.regs[in.Rd] = c.regs[in.Rs] - c.regs[in.Rt]
+			elapsed++
+			c.pc++
+		case isa.Xori:
+			c.regs[in.Rd] = c.regs[in.Rs] ^ in.ImmVal
+			elapsed++
+			c.pc++
+		case isa.Beq:
+			c.branch(in, c.regs[in.Rs] == c.regs[in.Rt])
+			elapsed++
+		case isa.Bne:
+			c.branch(in, c.regs[in.Rs] != c.regs[in.Rt])
+			elapsed++
+		case isa.Beqi:
+			c.branch(in, c.regs[in.Rs] == in.ImmVal)
+			elapsed++
+		case isa.Bnei:
+			c.branch(in, c.regs[in.Rs] != in.ImmVal)
+			elapsed++
+		case isa.Jmp:
+			c.pc = in.Target
+			elapsed++
+		case isa.Compute:
+			c.stats.ComputeCycles += in.ImmVal
+			elapsed += in.ImmVal
+			c.pc++
+		case isa.ComputeR:
+			cycles := c.regs[in.Rs]
+			c.stats.ComputeCycles += cycles
+			elapsed += cycles
+			c.pc++
+		case isa.SyncBegin:
+			c.syncStack = append(c.syncStack, syncFrame{
+				kind:  isa.SyncKind(in.ImmVal),
+				start: c.k.Now() + elapsed,
+			})
+			c.pc++
+		case isa.SyncEnd:
+			if len(c.syncStack) == 0 {
+				panic(fmt.Sprintf("cpu: core %d SyncEnd without SyncBegin", c.id))
+			}
+			top := c.syncStack[len(c.syncStack)-1]
+			c.syncStack = c.syncStack[:len(c.syncStack)-1]
+			if top.kind != isa.SyncKind(in.ImmVal) {
+				panic(fmt.Sprintf("cpu: core %d sync marker mismatch: begin %s end %s",
+					c.id, top.kind, isa.SyncKind(in.ImmVal)))
+			}
+			c.stats.SyncCycles[top.kind] += c.k.Now() + elapsed - top.start
+			c.stats.SyncEntries[top.kind]++
+			c.pc++
+		case isa.BackoffReset:
+			c.backoffCount = 0
+			c.pc++
+		case isa.BackoffWait:
+			c.pc++
+			wait := c.backoffInterval()
+			c.stats.BackoffCycles += wait
+			c.k.Schedule(elapsed+wait, c.step)
+			return
+		case isa.Done:
+			c.done = true
+			c.stats.DoneAt = c.k.Now() + elapsed
+			if len(c.syncStack) != 0 {
+				panic(fmt.Sprintf("cpu: core %d finished inside a sync phase", c.id))
+			}
+			if c.onDone != nil {
+				done := c.onDone
+				c.k.Schedule(elapsed, func() { done(c) })
+			}
+			return
+		default:
+			if !in.Op.IsMem() {
+				panic(fmt.Sprintf("cpu: core %d unknown opcode %s", c.id, in.Op))
+			}
+			c.issueMem(in, elapsed)
+			return
+		}
+	}
+}
+
+func (c *Core) branch(in *isa.Instr, taken bool) {
+	if taken {
+		c.pc = in.Target
+	} else {
+		c.pc++
+	}
+}
+
+// backoffInterval returns the wait before the next retry and advances the
+// exponentiation count.
+func (c *Core) backoffInterval() uint64 {
+	if c.cfg.BackoffLimit <= 0 {
+		return 0 // BackOff-0: direct LLC spinning
+	}
+	k := c.backoffCount
+	if k > c.cfg.BackoffLimit {
+		k = c.cfg.BackoffLimit
+	} else {
+		c.backoffCount++
+	}
+	iv := c.cfg.BackoffBase << k / 4
+	if iv == 0 {
+		iv = 1
+	}
+	return iv
+}
+
+// issueMem builds and issues the memory request for in after the batch's
+// elapsed cycles, and resumes execution when the port responds.
+func (c *Core) issueMem(in *isa.Instr, elapsed uint64) {
+	req := &memtypes.Request{Core: c.id, Sync: len(c.syncStack) > 0}
+	if n := len(c.syncStack); n > 0 {
+		req.SyncKind = uint8(c.syncStack[n-1].kind)
+	}
+	switch in.Op {
+	case isa.Ld:
+		req.Kind = memtypes.OpRead
+	case isa.St:
+		req.Kind = memtypes.OpWrite
+		req.Value = c.regs[in.Rs]
+	case isa.LdT:
+		req.Kind = memtypes.OpReadThrough
+	case isa.LdCB:
+		req.Kind = memtypes.OpReadCB
+	case isa.StT:
+		req.Kind = memtypes.OpWriteThrough
+		req.Value = c.regs[in.Rs]
+	case isa.StCB1:
+		req.Kind = memtypes.OpWriteCB1
+		req.Value = c.regs[in.Rs]
+	case isa.StCB0:
+		req.Kind = memtypes.OpWriteCB0
+		req.Value = c.regs[in.Rs]
+	case isa.RMW:
+		req.Kind = memtypes.OpRMW
+		req.RMW = in.RMWOp
+		req.RMWLdCB = in.RMWLdCB
+		req.RMWSt = in.RMWSt
+		req.Expect = in.Expect
+		if in.ArgIsReg {
+			req.Arg = c.regs[in.ArgReg]
+		} else {
+			req.Arg = in.ArgImm
+		}
+	case isa.SelfInvl:
+		req.Kind = memtypes.OpFenceSelfInvl
+	case isa.SelfDown:
+		req.Kind = memtypes.OpFenceSelfDown
+	default:
+		panic(fmt.Sprintf("cpu: issueMem on %s", in.Op))
+	}
+	if !in.Op.IsMem() {
+		panic("cpu: not a memory op")
+	}
+	if req.Kind != memtypes.OpFenceSelfInvl && req.Kind != memtypes.OpFenceSelfDown {
+		req.Addr = memtypes.Addr(c.regs[in.Base] + uint64(in.Offset))
+		req.Private = c.isPrivate(req.Addr)
+	}
+	c.stats.MemOps++
+	rd := in.Rd
+	isLoad := in.Op == isa.Ld || in.Op == isa.LdT || in.Op == isa.LdCB || in.Op == isa.RMW
+	issue := func() {
+		issuedAt := c.k.Now()
+		c.port.Access(req, func(resp memtypes.Response) {
+			if stall := c.k.Now() - issuedAt; stall >= IdleGateThreshold {
+				c.stats.MemStallCycles += stall
+			}
+			if isLoad {
+				c.regs[rd] = resp.Value
+			}
+			if resp.Stale {
+				c.stats.StaleResponses++
+			}
+			c.pc++
+			c.step()
+		})
+	}
+	if elapsed == 0 {
+		issue()
+	} else {
+		c.k.Schedule(elapsed, issue)
+	}
+}

@@ -1,0 +1,81 @@
+// Package energy converts event counts into energy figures the way the
+// paper does for Figure 22: CACTI-derived per-access energies for the L1
+// and LLC plus a per-flit-hop network energy from the interconnect model
+// (Section 5.1, 32nm process).
+//
+// Absolute joules are not the point — the paper's figure depends on the
+// relative costs (an L1 access vs an LLC bank access vs moving a flit one
+// hop) and on the event counts, which the simulator measures directly.
+// The defaults below are CACTI-6.5-plausible values for a 32KB 4-way L1
+// and a 256KB 16-way LLC bank at 32nm.
+package energy
+
+// Params holds per-event energies in picojoules.
+type Params struct {
+	L1AccessPJ float64 // L1 tag+data access
+	LLCTagPJ   float64 // LLC bank tag-only access
+	LLCDataPJ  float64 // LLC bank tag+data access
+	CBDirPJ    float64 // callback directory access (tiny: 4 entries)
+	FlitHopPJ  float64 // moving one 16-byte flit across one link+router
+
+	// CoreActivePJ / CoreIdlePJ are per-cycle core energies for the
+	// idle-while-blocked extension (Section 2.1's future work). Zero
+	// values exclude core energy, which is the paper's Figure 22
+	// accounting.
+	CoreActivePJ float64
+	CoreIdlePJ   float64
+}
+
+// DefaultParams are the 32nm-plausible defaults.
+func DefaultParams() Params {
+	return Params{
+		L1AccessPJ: 18,
+		LLCTagPJ:   11,
+		LLCDataPJ:  54,
+		CBDirPJ:    1.5,
+		FlitHopPJ:  9,
+	}
+}
+
+// Counts are the activity totals of a run.
+type Counts struct {
+	L1Accesses      uint64
+	LLCTagAccesses  uint64 // tag-only LLC accesses
+	LLCDataAccesses uint64 // tag+data LLC accesses
+	CBDirAccesses   uint64
+	FlitHops        uint64
+
+	// CoreActiveCycles / CoreIdleCycles feed the core-energy extension
+	// (ignored when the corresponding Params are zero).
+	CoreActiveCycles uint64
+	CoreIdleCycles   uint64
+}
+
+// Breakdown is the energy split of Figure 22 (plus the optional core
+// component of the idle extension), in picojoules.
+type Breakdown struct {
+	L1      float64
+	LLC     float64
+	Network float64
+	CBDir   float64
+	Core    float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 { return b.L1 + b.LLC + b.Network + b.CBDir + b.Core }
+
+// Compute converts counts to a breakdown under params.
+func Compute(c Counts, p Params) Breakdown {
+	return Breakdown{
+		L1:      float64(c.L1Accesses) * p.L1AccessPJ,
+		LLC:     float64(c.LLCTagAccesses)*p.LLCTagPJ + float64(c.LLCDataAccesses)*p.LLCDataPJ,
+		Network: float64(c.FlitHops) * p.FlitHopPJ,
+		CBDir:   float64(c.CBDirAccesses) * p.CBDirPJ,
+		Core:    float64(c.CoreActiveCycles)*p.CoreActivePJ + float64(c.CoreIdleCycles)*p.CoreIdlePJ,
+	}
+}
+
+// CoreParams returns plausible 32nm per-cycle core energies for the idle
+// extension: an active in-order core burns an order of magnitude more
+// than a clock-gated one.
+func CoreParams() (activePJ, idlePJ float64) { return 40, 4 }

@@ -1,0 +1,71 @@
+package energy
+
+import "testing"
+
+func TestComputeBreakdown(t *testing.T) {
+	p := Params{L1AccessPJ: 2, LLCTagPJ: 3, LLCDataPJ: 5, CBDirPJ: 1, FlitHopPJ: 7}
+	c := Counts{
+		L1Accesses:      10,
+		LLCTagAccesses:  4,
+		LLCDataAccesses: 6,
+		CBDirAccesses:   8,
+		FlitHops:        3,
+	}
+	b := Compute(c, p)
+	if b.L1 != 20 {
+		t.Errorf("L1 = %v, want 20", b.L1)
+	}
+	if b.LLC != 4*3+6*5 {
+		t.Errorf("LLC = %v, want 42", b.LLC)
+	}
+	if b.Network != 21 {
+		t.Errorf("Network = %v, want 21", b.Network)
+	}
+	if b.CBDir != 8 {
+		t.Errorf("CBDir = %v, want 8", b.CBDir)
+	}
+	if b.Total() != 20+42+21+8 {
+		t.Errorf("Total = %v, want 91", b.Total())
+	}
+}
+
+func TestDefaultParamsOrdering(t *testing.T) {
+	// The relative ordering Figure 22 depends on: a full LLC data
+	// access costs more than an L1 access; a tag probe and a flit-hop
+	// cost less; the 4-entry callback directory is nearly free.
+	p := DefaultParams()
+	if p.LLCDataPJ <= p.L1AccessPJ {
+		t.Error("LLC data access should cost more than an L1 access")
+	}
+	if p.LLCTagPJ >= p.L1AccessPJ {
+		t.Error("LLC tag probe should cost less than a full L1 access")
+	}
+	if p.CBDirPJ >= p.LLCTagPJ {
+		t.Error("callback directory must be far cheaper than the LLC")
+	}
+	if p.FlitHopPJ <= 0 {
+		t.Error("flit-hop energy must be positive")
+	}
+}
+
+func TestZeroCounts(t *testing.T) {
+	if got := Compute(Counts{}, DefaultParams()).Total(); got != 0 {
+		t.Fatalf("empty counts should cost nothing, got %v", got)
+	}
+}
+
+func TestCoreParams(t *testing.T) {
+	active, idle := CoreParams()
+	if active <= idle || idle <= 0 {
+		t.Fatalf("core params %v/%v: active must dominate idle", active, idle)
+	}
+	p := DefaultParams()
+	p.CoreActivePJ, p.CoreIdlePJ = active, idle
+	b := Compute(Counts{CoreActiveCycles: 10, CoreIdleCycles: 10}, p)
+	if b.Core != 10*active+10*idle {
+		t.Fatalf("core energy = %v", b.Core)
+	}
+	if b.Total() != b.Core {
+		t.Fatal("total should include core energy")
+	}
+}

@@ -1,0 +1,179 @@
+// Package experiments regenerates the paper's evaluation (Section 5):
+// one runner per table/figure, each producing the rows or series the
+// paper reports. See DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for recorded results.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/machine"
+	"repro/internal/synclib"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Setup names one of the evaluated protocol configurations
+// (Section 5.2).
+type Setup struct {
+	Name         string
+	Protocol     machine.Protocol
+	BackoffLimit int
+	CBOne        bool
+}
+
+// Flavor returns the synclib flavour programs must use under this setup.
+// The quiesce extension runs the callback-all encodings: its guard
+// ld_through + ld_cb spin loops map onto MONITOR/MWAIT at the MESI L1.
+func (s Setup) Flavor() synclib.Flavor {
+	switch s.Protocol {
+	case machine.ProtocolQuiesce:
+		return synclib.FlavorCBAll
+	case machine.ProtocolQueueLock:
+		// The LLC queue does the waiting: plain back-off encodings
+		// (failing test-style atomics block at the controller).
+		return synclib.FlavorBackoff
+	}
+	return workload.FlavorFor(s.Protocol == machine.ProtocolMESI,
+		s.Protocol == machine.ProtocolCallback, s.CBOne)
+}
+
+// StandardSetups returns the seven configurations of the paper's figures:
+// Invalidation, BackOff-{0,5,10,15}, CB-All, CB-One.
+func StandardSetups() []Setup {
+	return []Setup{
+		{Name: "Invalidation", Protocol: machine.ProtocolMESI},
+		{Name: "BackOff-0", Protocol: machine.ProtocolBackoff, BackoffLimit: 0},
+		{Name: "BackOff-5", Protocol: machine.ProtocolBackoff, BackoffLimit: 5},
+		{Name: "BackOff-10", Protocol: machine.ProtocolBackoff, BackoffLimit: 10},
+		{Name: "BackOff-15", Protocol: machine.ProtocolBackoff, BackoffLimit: 15},
+		{Name: "CB-All", Protocol: machine.ProtocolCallback},
+		{Name: "CB-One", Protocol: machine.ProtocolCallback, CBOne: true},
+	}
+}
+
+// SetupByName finds a standard setup.
+func SetupByName(name string) (Setup, error) {
+	for _, s := range StandardSetups() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Setup{}, fmt.Errorf("experiments: unknown setup %q", name)
+}
+
+// Options controls run scale.
+type Options struct {
+	// Cores is the simulated core count (default 64, Table 2; smaller
+	// values speed up exploratory runs).
+	Cores int
+	// CBEntries sizes the callback directories (default 4).
+	CBEntries int
+	// Limit is the simulation cycle budget per run (default 200M).
+	Limit uint64
+	// Benchmarks restricts suite sweeps to the named profiles (nil
+	// means all 19).
+	Benchmarks []string
+	// Verbose enables per-run progress lines via Logf.
+	Logf func(format string, args ...any)
+	// Trace, when set, receives network and callback-directory events
+	// from every run.
+	Trace trace.Sink
+}
+
+// profiles returns the benchmark set selected by the options.
+func (o Options) profiles() ([]workload.Profile, error) {
+	if len(o.Benchmarks) == 0 {
+		return workload.Profiles(), nil
+	}
+	var ps []workload.Profile
+	for _, name := range o.Benchmarks {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}
+
+func (o Options) fill() Options {
+	if o.Cores == 0 {
+		o.Cores = 64
+	}
+	if o.CBEntries == 0 {
+		o.CBEntries = 4
+	}
+	if o.Limit == 0 {
+		o.Limit = 200_000_000
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Result is the outcome of one benchmark x setup run.
+type Result struct {
+	Stats  machine.Stats
+	Energy energy.Breakdown
+}
+
+// Time returns the parallel-section execution time in cycles.
+func (r Result) Time() float64 { return float64(r.Stats.Cycles) }
+
+// Traffic returns the network traffic in flit-hops (the GARNET metric).
+func (r Result) Traffic() float64 { return float64(r.Stats.Net.FlitHops) }
+
+// buildMachine constructs the machine for a setup.
+func buildMachine(s Setup, o Options) *machine.Machine {
+	cfg := machine.Default(s.Protocol)
+	cfg.Cores = o.Cores
+	cfg.BackoffLimit = s.BackoffLimit
+	cfg.CBEntriesPerBank = o.CBEntries
+	return machine.New(cfg, synclib.IsPrivate)
+}
+
+// runGenerated loads and runs a generated workload, returning stats and
+// energy.
+func runGenerated(g *workload.Generated, s Setup, o Options) (Result, error) {
+	m := buildMachine(s, o)
+	if o.Trace != nil {
+		m.AttachTrace(o.Trace)
+	}
+	for a, v := range g.Layout.Init {
+		m.Store.StoreWord(a, v)
+	}
+	for tid, prog := range g.Programs {
+		m.Load(tid, prog, nil)
+	}
+	if err := m.Run(o.Limit); err != nil {
+		return Result{}, fmt.Errorf("%s under %s: %w", g.Profile.Name, s.Name, err)
+	}
+	st := m.Stats()
+	e := energy.Compute(energy.Counts{
+		L1Accesses:      st.L1Accesses,
+		LLCTagAccesses:  st.LLCAccesses - st.LLCDataAccesses,
+		LLCDataAccesses: st.LLCDataAccesses,
+		CBDirAccesses:   st.CBDirAccesses,
+		FlitHops:        st.Net.FlitHops,
+	}, energy.DefaultParams())
+	return Result{Stats: st, Energy: e}, nil
+}
+
+// RunBenchmark runs one benchmark profile under one setup with the given
+// synchronization style.
+func RunBenchmark(p workload.Profile, s Setup, style workload.SyncStyle, o Options) (Result, error) {
+	o = o.fill()
+	g := workload.Generate(p, o.Cores, style, s.Flavor())
+	return runGenerated(g, s, o)
+}
+
+// RunBenchmarkCustom runs with an explicit lock/barrier combination
+// (Figure 23).
+func RunBenchmarkCustom(p workload.Profile, s Setup, lk workload.LockKind, bk workload.BarrierKind, o Options) (Result, error) {
+	o = o.fill()
+	g := workload.GenerateCustom(p, o.Cores, lk, bk, s.Flavor())
+	return runGenerated(g, s, o)
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// ExtensionSetups returns the configurations for the quiesce extension
+// study: the paper's Section 4.1 argues callbacks subsume MWAIT-style
+// event monitors; this experiment quantifies it. Quiesce is MESI plus an
+// L1 event monitor, so it inherits all invalidation traffic but stops
+// burning L1 energy while spinning.
+func ExtensionSetups() []Setup {
+	return []Setup{
+		{Name: "Invalidation", Protocol: machine.ProtocolMESI},
+		{Name: "Quiesce", Protocol: machine.ProtocolQuiesce},
+		{Name: "CB-All", Protocol: machine.ProtocolCallback},
+		{Name: "CB-One", Protocol: machine.ProtocolCallback, CBOne: true},
+	}
+}
+
+// ExtensionQuiesce runs a synchronization-heavy benchmark subset under
+// the extension setups and reports execution time, traffic, L1 accesses
+// (the spin-energy proxy), and total energy, normalized to Invalidation.
+func ExtensionQuiesce(o Options) (*metrics.Table, error) {
+	o = o.fill()
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = []string{"radiosity", "ocean", "fluidanimate", "dedup"}
+	}
+	ps, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	setups := ExtensionSetups()
+	t := metrics.NewTable("Quiesce extension (geomean, normalized to Invalidation)",
+		"time", "traffic", "L1 accesses", "energy")
+	cols := map[string][][]float64{}
+	for _, p := range ps {
+		var base Result
+		for i, s := range setups {
+			o.Logf("run quiesce-ext %-14s %-13s", p.Name, s.Name)
+			res, err := RunBenchmark(p, s, workload.StyleScalable, o)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = res
+			}
+			cols[s.Name] = append(cols[s.Name], []float64{
+				res.Time() / base.Time(),
+				res.Traffic() / base.Traffic(),
+				float64(res.Stats.L1Accesses) / float64(base.Stats.L1Accesses),
+				res.Energy.Total() / base.Energy.Total(),
+			})
+		}
+	}
+	for _, s := range setups {
+		rows := cols[s.Name]
+		vals := make([]float64, 4)
+		for c := 0; c < 4; c++ {
+			col := make([]float64, len(rows))
+			for i, r := range rows {
+				col[i] = r[c]
+			}
+			vals[c] = metrics.GeoMean(col)
+		}
+		t.AddRow(s.Name, vals...)
+	}
+	return t, nil
+}

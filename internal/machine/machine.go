@@ -1,0 +1,261 @@
+// Package machine assembles a full simulated chip multiprocessor: a
+// width x height mesh of tiles, each with an in-order core, a private L1,
+// and an LLC bank (plus directory or callback directory depending on the
+// protocol), per Table 2 of the paper.
+package machine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memtypes"
+	"repro/internal/mesi"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vips"
+)
+
+// Protocol selects the coherence configuration under evaluation
+// (Section 5.2).
+type Protocol uint8
+
+const (
+	// ProtocolMESI is the invalidation-based directory baseline.
+	ProtocolMESI Protocol = iota
+	// ProtocolBackoff is self-invalidation with LLC spinning and
+	// exponential back-off (the VIPS-M baseline).
+	ProtocolBackoff
+	// ProtocolCallback is self-invalidation plus the callback directory.
+	ProtocolCallback
+	// ProtocolQuiesce is the MESI baseline with a MONITOR/MWAIT-style
+	// event monitor at each L1: blocking reads halt the core until the
+	// monitored line is invalidated (the quiesce mechanism of the
+	// paper's Section 4.1 related work).
+	ProtocolQuiesce
+	// ProtocolQueueLock is the self-invalidation protocol with the
+	// VIPS-M blocking-bit lock queue at the LLC controller instead of
+	// callbacks (the lock mechanism the paper contrasts against).
+	ProtocolQueueLock
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolMESI:
+		return "Invalidation"
+	case ProtocolBackoff:
+		return "BackOff"
+	case ProtocolCallback:
+		return "Callback"
+	case ProtocolQuiesce:
+		return "Quiesce"
+	case ProtocolQueueLock:
+		return "QueueLock"
+	}
+	return fmt.Sprintf("Protocol(%d)", uint8(p))
+}
+
+// Config parameterizes a machine.
+type Config struct {
+	Protocol Protocol
+	// Cores is the core count; it must be a perfect square (mesh).
+	// Defaults to 64 (8x8, Table 2).
+	Cores int
+	// BackoffLimit is the number of exponentiations before the back-off
+	// ceiling (BackOff-N); 0 means direct LLC spinning.
+	BackoffLimit int
+	// BackoffBase is the initial back-off interval in cycles.
+	BackoffBase uint64
+	// CBEntriesPerBank sizes the callback directories (default 4).
+	CBEntriesPerBank int
+	// WakePolicy selects the write_CB1 policy.
+	WakePolicy core.WakePolicy
+	// CBEvict selects the callback directory replacement policy.
+	CBEvict core.EvictPolicy
+	// CBLineGranular switches callback directories to line-granular
+	// tags (ablation).
+	CBLineGranular bool
+	// IdealNoC disables network contention (ablation).
+	IdealNoC bool
+}
+
+// Default returns the Table 2 configuration for a protocol.
+func Default(p Protocol) Config {
+	return Config{
+		Protocol:         p,
+		Cores:            64,
+		BackoffLimit:     10,
+		BackoffBase:      1,
+		CBEntriesPerBank: core.DefaultEntries,
+	}
+}
+
+// Machine is a runnable simulated CMP.
+type Machine struct {
+	K     *sim.Kernel
+	Mesh  *noc.Mesh
+	Store *mem.Store
+	Cores []*cpu.Core
+
+	cfg       Config
+	vipsTiles []*vips.Tile
+	mesiTiles []*mesi.Tile
+
+	classify func(memtypes.Addr) bool
+
+	loaded   int
+	finished int
+}
+
+// New builds a machine. classify marks thread-private addresses (nil
+// means none).
+func New(cfg Config, classify func(memtypes.Addr) bool) *Machine {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 64
+	}
+	w := int(math.Sqrt(float64(cfg.Cores)))
+	if w*w != cfg.Cores {
+		panic(fmt.Sprintf("machine: %d cores is not a square mesh", cfg.Cores))
+	}
+	if cfg.Cores > 64 {
+		panic("machine: at most 64 cores (directory bit-vectors)")
+	}
+	k := sim.New()
+	m := &Machine{
+		K:     k,
+		Mesh:  noc.New(k, w, w),
+		Store: mem.NewStore(),
+		cfg:   cfg,
+	}
+	m.classify = classify
+	if cfg.IdealNoC {
+		m.Mesh.SetIdeal(true)
+	}
+	bankOf := func(a memtypes.Addr) memtypes.NodeID {
+		return memtypes.NodeID(uint64(a.Line()) / memtypes.LineBytes % uint64(cfg.Cores))
+	}
+	coreCfg := cpu.Config{BackoffBase: cfg.BackoffBase, BackoffLimit: cfg.BackoffLimit}
+	onDone := func(*cpu.Core) { m.finished++ }
+	for n := 0; n < cfg.Cores; n++ {
+		id := memtypes.NodeID(n)
+		var port memtypes.Port
+		switch cfg.Protocol {
+		case ProtocolMESI, ProtocolQuiesce:
+			tile := &mesi.Tile{
+				L1:  mesi.NewL1(k, id, m.Mesh, m.Store, bankOf),
+				Dir: mesi.NewDir(k, id, m.Mesh, m.Store),
+			}
+			if cfg.Protocol == ProtocolQuiesce {
+				tile.L1.EnableMonitor()
+			}
+			m.Mesh.Attach(id, tile)
+			m.mesiTiles = append(m.mesiTiles, tile)
+			port = tile.L1
+		case ProtocolBackoff, ProtocolCallback, ProtocolQueueLock:
+			vcfg := vips.Config{
+				Mode:             vips.ModeBackoff,
+				CBEntriesPerBank: cfg.CBEntriesPerBank,
+				CBDirLatency:     1,
+				WakePolicy:       cfg.WakePolicy,
+				CBEvict:          cfg.CBEvict,
+				CBLineGranular:   cfg.CBLineGranular,
+			}
+			if cfg.Protocol == ProtocolCallback {
+				vcfg.Mode = vips.ModeCallback
+			}
+			if cfg.Protocol == ProtocolQueueLock {
+				vcfg.Mode = vips.ModeQueueLock
+			}
+			tile := &vips.Tile{
+				L1:   vips.NewL1(k, id, m.Mesh, bankOf),
+				Bank: vips.NewBank(k, id, m.Mesh, m.Store, cfg.Cores, vcfg),
+			}
+			m.Mesh.Attach(id, tile)
+			m.vipsTiles = append(m.vipsTiles, tile)
+			port = tile.L1
+		default:
+			panic(fmt.Sprintf("machine: unknown protocol %d", cfg.Protocol))
+		}
+		m.Cores = append(m.Cores, cpu.New(k, id, port, coreCfg, classify, onDone))
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// AttachTrace streams network and callback-directory events into sink.
+func (m *Machine) AttachTrace(sink trace.Sink) {
+	m.Mesh.SetObserver(func(cycle uint64, msg *memtypes.Message, what string) {
+		node := msg.Src
+		if what == "deliver" {
+			node = msg.Dst
+		}
+		sink.Emit(trace.Event{
+			Cycle: cycle, Node: node, What: what, Addr: msg.Addr,
+			Note: fmt.Sprintf("kind=%#x %s %d->%d", uint16(msg.Kind), msg.Class, msg.Src, msg.Dst),
+		})
+	})
+	for _, t := range m.vipsTiles {
+		t.Bank.SetObserver(func(cycle uint64, core memtypes.NodeID, addr memtypes.Addr, what string) {
+			sink.Emit(trace.Event{Cycle: cycle, Node: core, What: what, Addr: addr})
+		})
+	}
+}
+
+// Load assigns a program to core n with initial register values, starting
+// at cycle 0.
+func (m *Machine) Load(n int, prog *isa.Program, regs map[isa.Reg]uint64) {
+	for r, v := range regs {
+		m.Cores[n].SetReg(r, v)
+	}
+	m.Cores[n].Run(prog, 0)
+	m.loaded++
+}
+
+// Run simulates until every loaded core finishes, or the cycle limit is
+// hit (an error: usually a synchronization deadlock, with a diagnosis of
+// where every unfinished core is stuck).
+func (m *Machine) Run(limit uint64) error {
+	if m.loaded == 0 {
+		return fmt.Errorf("machine: no programs loaded")
+	}
+	err := m.K.RunUntil(limit, func() bool { return m.finished == m.loaded })
+	if err != nil {
+		return fmt.Errorf("machine: %d/%d cores finished at cycle %d: %w\n%s",
+			m.finished, m.loaded, m.K.Now(), err, m.Diagnose())
+	}
+	return nil
+}
+
+// Diagnose reports where every unfinished core is stuck and what is
+// parked in the callback directories — the first thing to read when a
+// run deadlocks.
+func (m *Machine) Diagnose() string {
+	var b strings.Builder
+	for i, c := range m.Cores {
+		if c.Done() {
+			continue
+		}
+		in := c.CurrentInstr()
+		if in == nil {
+			fmt.Fprintf(&b, "  core %2d: no program\n", i)
+			continue
+		}
+		fmt.Fprintf(&b, "  core %2d: pc=%d  %s\n", i, c.PC(), in)
+	}
+	for i, t := range m.vipsTiles {
+		if n := t.Bank.Parked(); n > 0 {
+			fmt.Fprintf(&b, "  bank %2d: %d operations parked in the callback directory\n", i, n)
+		}
+	}
+	if b.Len() == 0 {
+		return "  (all cores report done; events still pending)"
+	}
+	return b.String()
+}

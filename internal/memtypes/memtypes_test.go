@@ -1,0 +1,186 @@
+package memtypes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrGeometry(t *testing.T) {
+	cases := []struct {
+		a       Addr
+		line    Addr
+		word    Addr
+		wordIdx int
+		offset  int
+	}{
+		{0, 0, 0, 0, 0},
+		{7, 0, 0, 0, 7},
+		{8, 0, 8, 1, 8},
+		{63, 0, 56, 7, 63},
+		{64, 64, 64, 0, 0},
+		{0x1234, 0x1200, 0x1230, 6, 0x34},
+	}
+	for _, c := range cases {
+		if got := c.a.Line(); got != c.line {
+			t.Errorf("%s.Line() = %s, want %s", c.a, got, c.line)
+		}
+		if got := c.a.Word(); got != c.word {
+			t.Errorf("%s.Word() = %s, want %s", c.a, got, c.word)
+		}
+		if got := c.a.WordIndex(); got != c.wordIdx {
+			t.Errorf("%s.WordIndex() = %d, want %d", c.a, got, c.wordIdx)
+		}
+		if got := c.a.Offset(); got != c.offset {
+			t.Errorf("%s.Offset() = %d, want %d", c.a, got, c.offset)
+		}
+	}
+}
+
+func TestAddrProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		// The line contains the word, the word contains the address.
+		if a.Word() < a.Line() || a.Word() > a.Line()+LineBytes-WordBytes {
+			return false
+		}
+		if a < a.Word() || a >= a.Word()+WordBytes {
+			return false
+		}
+		// WordIndex is consistent with Word.
+		return a.Line()+Addr(a.WordIndex()*WordBytes) == a.Word()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMWApply(t *testing.T) {
+	cases := []struct {
+		op          RMWOp
+		old, expect uint64
+		arg         uint64
+		wantNew     uint64
+		wantWrites  bool
+	}{
+		{RMWTestAndSet, 0, 0, 1, 1, true},         // free lock taken
+		{RMWTestAndSet, 1, 0, 1, 1, false},        // held lock: no write
+		{RMWSwap, 42, 0, 7, 7, true},              // unconditional
+		{RMWFetchAdd, 10, 0, 5, 15, true},         // fetch&add
+		{RMWFetchAdd, 10, 0, ^uint64(0), 9, true}, // fetch&dec via -1
+		{RMWTestAndDec, 3, 0, 0, 2, true},         // positive: decrement
+		{RMWTestAndDec, 0, 0, 0, 0, false},        // zero: no write
+		{RMWCompareAndSwap, 5, 5, 9, 9, true},
+		{RMWCompareAndSwap, 5, 6, 9, 5, false},
+	}
+	for _, c := range cases {
+		gotNew, gotWrites := c.op.Apply(c.old, c.expect, c.arg)
+		if gotNew != c.wantNew || gotWrites != c.wantWrites {
+			t.Errorf("%s.Apply(%d,%d,%d) = (%d,%v), want (%d,%v)",
+				c.op, c.old, c.expect, c.arg, gotNew, gotWrites, c.wantNew, c.wantWrites)
+		}
+	}
+}
+
+func TestOpKindClassification(t *testing.T) {
+	racy := []OpKind{OpReadThrough, OpReadCB, OpWriteThrough, OpWriteCB1, OpWriteCB0, OpRMW}
+	for _, k := range racy {
+		if !k.IsRacy() {
+			t.Errorf("%s should be racy", k)
+		}
+		if k.IsFence() {
+			t.Errorf("%s should not be a fence", k)
+		}
+	}
+	drf := []OpKind{OpRead, OpWrite}
+	for _, k := range drf {
+		if k.IsRacy() || k.IsFence() {
+			t.Errorf("%s should be plain DRF", k)
+		}
+	}
+	for _, k := range []OpKind{OpFenceSelfInvl, OpFenceSelfDown} {
+		if !k.IsFence() || k.IsRacy() {
+			t.Errorf("%s should be a fence only", k)
+		}
+	}
+}
+
+func TestCBWriteStoreKind(t *testing.T) {
+	if CBAll.StoreKind() != OpWriteThrough {
+		t.Error("CBAll should map to st_through")
+	}
+	if CBOne.StoreKind() != OpWriteCB1 {
+		t.Error("CBOne should map to st_cb1")
+	}
+	if CBZero.StoreKind() != OpWriteCB0 {
+		t.Error("CBZero should map to st_cb0")
+	}
+}
+
+func TestMsgClassFlits(t *testing.T) {
+	if ClassControl.Flits() != 1 {
+		t.Errorf("control = %d flits, want 1", ClassControl.Flits())
+	}
+	if ClassWordData.Flits() != 2 {
+		t.Errorf("word = %d flits, want 2", ClassWordData.Flits())
+	}
+	if ClassLineData.Flits() != 5 {
+		t.Errorf("line = %d flits, want 5 (1 header + 64B/16B)", ClassLineData.Flits())
+	}
+}
+
+func TestStringers(t *testing.T) {
+	// Smoke-test the String methods so fmt output is stable.
+	for k := OpRead; k <= OpFenceSelfDown; k++ {
+		if k.String() == "" {
+			t.Errorf("OpKind(%d) has empty name", k)
+		}
+	}
+	for o := RMWTestAndSet; o <= RMWCompareAndSwap; o++ {
+		if o.String() == "" {
+			t.Errorf("RMWOp(%d) has empty name", o)
+		}
+	}
+	m := &Message{Src: 1, Dst: 2, Kind: KindMESIBase, Class: ClassLineData, Addr: 0x40}
+	if m.String() == "" || m.Flits() != 5 {
+		t.Error("message stringer/flits broken")
+	}
+}
+
+func TestCBWriteString(t *testing.T) {
+	if CBAll.String() != "cbA" || CBOne.String() != "cb1" || CBZero.String() != "cb0" {
+		t.Fatal("CBWrite names wrong")
+	}
+	if CBWrite(9).String() == "" {
+		t.Fatal("unknown CBWrite should still print")
+	}
+}
+
+func TestUnknownEnumStrings(t *testing.T) {
+	if OpKind(200).String() == "" || RMWOp(200).String() == "" || MsgClass(9).String() == "" {
+		t.Fatal("unknown enums should print placeholders")
+	}
+}
+
+func TestWordDataFlitsScaleWithWords(t *testing.T) {
+	m := &Message{Class: ClassWordData}
+	if m.Flits() != 2 {
+		t.Fatalf("0-word message = %d flits, want 2", m.Flits())
+	}
+	m.Words = 4 // 4 x 8B = 2 payload flits + header
+	if m.Flits() != 3 {
+		t.Fatalf("4-word message = %d flits, want 3", m.Flits())
+	}
+	m.Words = 8
+	if m.Flits() != 5 {
+		t.Fatalf("8-word message = %d flits, want 5 (full line)", m.Flits())
+	}
+}
+
+func TestMsgClassStrings(t *testing.T) {
+	for _, c := range []MsgClass{ClassControl, ClassWordData, ClassLineData} {
+		if c.String() == "" {
+			t.Fatal("empty class name")
+		}
+	}
+}

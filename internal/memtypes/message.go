@@ -1,0 +1,98 @@
+package memtypes
+
+import "fmt"
+
+// MsgClass sizes a network message in flits. The network has 16-byte flits
+// (Table 2): a control message is a single header flit, a word-data
+// message (racy-op responses and write-throughs carrying one word) adds a
+// payload flit, and a line-data message carries a 64-byte line plus the
+// header.
+type MsgClass uint8
+
+const (
+	ClassControl MsgClass = iota
+	ClassWordData
+	ClassLineData
+)
+
+// Flits returns the message size in 16-byte flits.
+func (c MsgClass) Flits() int {
+	switch c {
+	case ClassControl:
+		return 1
+	case ClassWordData:
+		return 2
+	case ClassLineData:
+		return 1 + LineBytes/16
+	}
+	panic(fmt.Sprintf("memtypes: unknown MsgClass %d", c))
+}
+
+func (c MsgClass) String() string {
+	switch c {
+	case ClassControl:
+		return "ctrl"
+	case ClassWordData:
+		return "word"
+	case ClassLineData:
+		return "line"
+	}
+	return fmt.Sprintf("MsgClass(%d)", uint8(c))
+}
+
+// MsgKind identifies the protocol meaning of a message. Kinds are declared
+// by the protocol packages; values only need to be unique within one
+// simulated machine, so each protocol gets a disjoint range.
+type MsgKind uint16
+
+// Protocol message kind ranges.
+const (
+	KindMESIBase     MsgKind = 0x100
+	KindVIPSBase     MsgKind = 0x200
+	KindCallbackBase MsgKind = 0x300
+)
+
+// Message is a unit of transfer on the on-chip network.
+type Message struct {
+	Src, Dst NodeID
+	Kind     MsgKind
+	Class    MsgClass
+	Addr     Addr
+
+	// Core is the original requester when the message is part of a
+	// multi-hop transaction (e.g. a forwarded request or an ack).
+	Core NodeID
+
+	// Value carries a data word, an ack count, or other small payload.
+	Value uint64
+
+	// LineData and Mask carry a partial line for write-through messages
+	// (the self-downgrade protocols update the LLC at word granularity).
+	LineData Line
+	Mask     [WordsPerLine]bool
+
+	// Words is the payload word count for ClassWordData messages; it
+	// refines the flit size (two 8-byte words per 16-byte flit). Zero
+	// means one word.
+	Words int
+
+	// Stale marks a callback response produced by a directory eviction
+	// rather than a write (Section 2.3.1).
+	Stale bool
+
+	// Req carries the originating request for racy-op transactions so
+	// the LLC can interpret RMW semantics without extra lookups.
+	Req *Request
+}
+
+// Flits returns the message size in flits.
+func (m *Message) Flits() int {
+	if m.Class == ClassWordData && m.Words > 1 {
+		return 1 + (m.Words+1)/2
+	}
+	return m.Class.Flits()
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("msg{%d->%d kind=%#x %s addr=%s}", m.Src, m.Dst, uint16(m.Kind), m.Class, m.Addr)
+}

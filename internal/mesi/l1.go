@@ -1,0 +1,291 @@
+package mesi
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/memtypes"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// State is an L1 MESI line state. Invalid lines are simply absent from
+// the array.
+type State uint8
+
+const (
+	// StateS is a read-only shared copy.
+	StateS State = iota
+	// StateE is a clean exclusive copy (silently upgradable to M).
+	StateE
+	// StateM is a modified exclusive copy.
+	StateM
+)
+
+func (s State) String() string {
+	switch s {
+	case StateS:
+		return "S"
+	case StateE:
+		return "E"
+	case StateM:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// L1Stats counts L1 activity.
+type L1Stats struct {
+	Accesses      uint64
+	Hits          uint64
+	Misses        uint64
+	Upgrades      uint64 // S->M requests
+	Invalidations uint64 // lines killed by remote writers
+	Writebacks    uint64 // PutM messages
+	Forwards      uint64 // FwdGetS/FwdGetX served
+}
+
+type l1Line struct {
+	state State
+}
+
+type l1Pending struct {
+	req  *memtypes.Request
+	done func(memtypes.Response)
+}
+
+// L1 is one core's private MESI cache controller; it implements
+// memtypes.Port.
+type L1 struct {
+	k      *sim.Kernel
+	id     memtypes.NodeID
+	mesh   *noc.Mesh
+	store  *mem.Store
+	bankOf func(memtypes.Addr) memtypes.NodeID
+
+	arr     *cache.Array[l1Line]
+	pending *l1Pending
+
+	// Monitor (quiesce/MWAIT) extension state; see monitor.go.
+	monitorEnabled bool
+	monitor        monitorState
+	monStats       MonitorStats
+
+	stats L1Stats
+}
+
+// NewL1 builds the MESI L1 for core id (32KB, 4-way).
+func NewL1(k *sim.Kernel, id memtypes.NodeID, mesh *noc.Mesh, store *mem.Store, bankOf func(memtypes.Addr) memtypes.NodeID) *L1 {
+	return &L1{
+		k: k, id: id, mesh: mesh, store: store, bankOf: bankOf,
+		arr: cache.NewArray[l1Line](32*1024, 4),
+	}
+}
+
+// Stats returns the L1 counters.
+func (l *L1) Stats() L1Stats { return l.stats }
+
+// LineState reports the state of addr's line (tests). ok is false when
+// the line is not resident.
+func (l *L1) LineState(addr memtypes.Addr) (State, bool) {
+	if line := l.arr.Peek(addr); line != nil {
+		return line.State.state, true
+	}
+	return 0, false
+}
+
+// mapKind folds the racy operations of the self-invalidation protocols
+// onto their plain MESI equivalents: under invalidation-based coherence,
+// synchronization uses ordinary cached accesses and spins locally.
+func mapKind(k memtypes.OpKind) memtypes.OpKind {
+	switch k {
+	case memtypes.OpReadThrough, memtypes.OpReadCB:
+		return memtypes.OpRead
+	case memtypes.OpWriteThrough, memtypes.OpWriteCB1, memtypes.OpWriteCB0:
+		return memtypes.OpWrite
+	default:
+		return k
+	}
+}
+
+// Access implements memtypes.Port.
+func (l *L1) Access(req *memtypes.Request, done func(memtypes.Response)) {
+	if l.pending != nil {
+		panic(fmt.Sprintf("mesi: core %d issued a second request while one is outstanding", l.id))
+	}
+	if l.monitorEnabled && req.Kind == memtypes.OpReadCB {
+		l.accessMonitored(req, done)
+		return
+	}
+	kind := mapKind(req.Kind)
+	if kind.IsFence() {
+		// MESI needs no self-invalidation or self-downgrade.
+		l.k.Schedule(mem.DefaultL1Latency, func() { done(memtypes.Response{}) })
+		return
+	}
+	l.pending = &l1Pending{req: req, done: done}
+	l.stats.Accesses++
+	line := l.arr.Lookup(req.Addr)
+	switch kind {
+	case memtypes.OpRead:
+		if line != nil {
+			l.stats.Hits++
+			l.finish(line, mem.DefaultL1Latency, true)
+			return
+		}
+		l.stats.Misses++
+		l.request(MsgGetS, req)
+	case memtypes.OpWrite, memtypes.OpRMW:
+		if line != nil && line.State.state != StateS {
+			l.stats.Hits++
+			line.State.state = StateM // silent E->M upgrade
+			l.finish(line, mem.DefaultL1Latency, true)
+			return
+		}
+		if line != nil {
+			l.stats.Upgrades++
+		} else {
+			l.stats.Misses++
+		}
+		l.request(MsgGetX, req)
+	default:
+		panic(fmt.Sprintf("mesi: unexpected op %s", kind))
+	}
+}
+
+func (l *L1) request(kind memtypes.MsgKind, req *memtypes.Request) {
+	l.mesh.Send(&memtypes.Message{
+		Src: l.id, Dst: l.bankOf(req.Addr), Kind: kind,
+		Class: memtypes.ClassControl, Addr: req.Addr.Line(),
+		Core: l.id, Req: req,
+	})
+}
+
+// finish applies the pending operation to a resident line with the
+// required permissions and responds to the core.
+func (l *L1) finish(line *cache.Line[l1Line], delay uint64, hit bool) {
+	p := l.pending
+	l.pending = nil
+	req := p.req
+	w := req.Addr.WordIndex()
+	resp := memtypes.Response{Hit: hit}
+	switch mapKind(req.Kind) {
+	case memtypes.OpRead:
+		resp.Value = line.Data[w]
+	case memtypes.OpWrite:
+		line.Data[w] = req.Value
+		// The single M copy is the current value: commit globally.
+		l.store.StoreWord(req.Addr, req.Value)
+	case memtypes.OpRMW:
+		old := line.Data[w]
+		newVal, writes := req.RMW.Apply(old, req.Expect, req.Arg)
+		if writes {
+			line.Data[w] = newVal
+			l.store.StoreWord(req.Addr, newVal)
+		}
+		resp.Value = old
+	}
+	l.k.Schedule(delay, func() { p.done(resp) })
+}
+
+// handleData installs a granted line and completes the pending miss.
+func (l *L1) handleData(msg *memtypes.Message) {
+	if l.pending == nil || l.pending.req.Addr.Line() != msg.Addr {
+		panic(fmt.Sprintf("mesi: core %d unexpected data for %s", l.id, msg.Addr))
+	}
+	line := l.arr.Peek(msg.Addr)
+	if line == nil {
+		l.evictFor(msg.Addr)
+		line, _ = l.arr.Allocate(msg.Addr)
+		line.Data = msg.LineData
+	}
+	switch msg.Kind {
+	case MsgDataS:
+		line.State.state = StateS
+	case MsgDataE:
+		line.State.state = StateE
+	case MsgDataX:
+		line.State.state = StateM
+		// A DataX response supersedes any stale local copy.
+		line.Data = msg.LineData
+	}
+	l.finish(line, mem.DefaultL1Latency, false)
+}
+
+// evictFor makes room for a fill of addr.
+func (l *L1) evictFor(addr memtypes.Addr) {
+	v := l.arr.Victim(addr)
+	if !v.Valid {
+		return
+	}
+	switch v.State.state {
+	case StateM:
+		l.stats.Writebacks++
+		l.mesh.Send(&memtypes.Message{
+			Src: l.id, Dst: l.bankOf(v.Addr), Kind: MsgPutM,
+			Class: memtypes.ClassLineData, Addr: v.Addr, Core: l.id,
+			LineData: v.Data,
+		})
+	case StateE:
+		l.mesh.Send(&memtypes.Message{
+			Src: l.id, Dst: l.bankOf(v.Addr), Kind: MsgPutE,
+			Class: memtypes.ClassControl, Addr: v.Addr, Core: l.id,
+		})
+	case StateS:
+		// Silent eviction: the directory's sharer bit goes stale and a
+		// later Inv is acked without a copy.
+	}
+	l.arr.Invalidate(v.Addr)
+}
+
+// handleInv invalidates a line and acks, whether or not a copy remains.
+func (l *L1) handleInv(msg *memtypes.Message) {
+	if l.arr.Invalidate(msg.Addr) {
+		l.stats.Invalidations++
+	}
+	l.monitorInvalidated(msg.Addr)
+	l.mesh.Send(&memtypes.Message{
+		Src: l.id, Dst: msg.Src, Kind: MsgInvAck,
+		Class: memtypes.ClassControl, Addr: msg.Addr, Core: l.id,
+	})
+}
+
+// handleFwd serves a forwarded request: return the line to the directory
+// and downgrade (GetS) or invalidate (GetX). An owner that already
+// evicted the line still responds — the directory reconciles with the
+// in-flight writeback.
+func (l *L1) handleFwd(msg *memtypes.Message) {
+	l.stats.Forwards++
+	data := l.store.LoadLine(msg.Addr)
+	if line := l.arr.Peek(msg.Addr); line != nil {
+		data = line.Data
+		if msg.Kind == MsgFwdGetS {
+			line.State.state = StateS
+		} else {
+			l.arr.Invalidate(msg.Addr)
+			l.monitorInvalidated(msg.Addr)
+		}
+	}
+	l.mesh.Send(&memtypes.Message{
+		Src: l.id, Dst: msg.Src, Kind: MsgDataWB,
+		Class: memtypes.ClassLineData, Addr: msg.Addr, Core: msg.Core,
+		LineData: data,
+	})
+}
+
+// Deliver routes directory-to-L1 messages.
+func (l *L1) Deliver(msg *memtypes.Message) {
+	switch msg.Kind {
+	case MsgDataS, MsgDataE, MsgDataX:
+		l.handleData(msg)
+	case MsgInv:
+		l.handleInv(msg)
+	case MsgFwdGetS, MsgFwdGetX:
+		l.handleFwd(msg)
+	case MsgWBAck:
+		// Writebacks are fire-and-forget.
+	default:
+		panic(fmt.Sprintf("mesi: L1 %d cannot handle %s", l.id, msg))
+	}
+}

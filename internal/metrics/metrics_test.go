@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v, want 0", got)
+	}
+	// Non-positive values are skipped, not fatal.
+	if got := GeoMean([]float64{0, 4, 4}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean(0,4,4) = %v, want 4", got)
+	}
+}
+
+func TestGeoMeanProperty(t *testing.T) {
+	// The geomean of positive values lies between min and max.
+	f := func(raw []uint16) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		return g >= min-1e-9 && g <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4, 8}, 4)
+	want := []float64{0.5, 1, 2}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-9 {
+			t.Fatalf("Normalize = %v, want %v", out, want)
+		}
+	}
+	if out := Normalize([]float64{1, 2}, 0); out[0] != 0 || out[1] != 0 {
+		t.Fatal("zero base should yield zeros")
+	}
+}
+
+func TestNormalizeToMax(t *testing.T) {
+	out := NormalizeToMax([]float64{1, 5, 2})
+	if out[1] != 1 || out[0] != 0.2 {
+		t.Fatalf("NormalizeToMax = %v", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Figure X", "a", "b")
+	tb.AddRow("r1", 1, 2)
+	tb.AddRow("r2", 4, 8)
+	gm := tb.GeoMeanRow("geomean")
+	if math.Abs(gm[0]-2) > 1e-9 || math.Abs(gm[1]-4) > 1e-9 {
+		t.Fatalf("geomean row = %v", gm)
+	}
+	if tb.Row("r1") == nil || tb.Row("missing") != nil {
+		t.Fatal("Row lookup broken")
+	}
+	s := tb.String()
+	for _, want := range []string{"Figure X", "r1", "geomean", "4.000"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableMismatchedRowPanics(t *testing.T) {
+	tb := NewTable("t", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row did not panic")
+		}
+	}()
+	tb.AddRow("bad", 1, 2)
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("SortedKeys = %v", keys)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "a,b", "c")
+	tb.AddRow("r,1", 1.5, 2)
+	got := tb.CSV()
+	want := "name,\"a,b\",c\n\"r,1\",1.5,2\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,226 @@
+// Package noc models the on-chip interconnect: a 2-dimensional mesh with
+// deterministic X-Y routing, matching the GARNET configuration in Table 2
+// of the paper (8x8 mesh, 16-byte flits, 6-cycle switch-to-switch time).
+//
+// Messages are forwarded hop by hop. Each directional link serializes the
+// flits of a message (one flit per cycle), so back-to-back messages on hot
+// links queue up — the contention that makes invalidation storms and LLC
+// spinning expensive. Traffic is accounted in flit-hops, the same unit
+// GARNET reports.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/memtypes"
+	"repro/internal/sim"
+)
+
+// Default timing parameters (Table 2).
+const (
+	DefaultSwitchLatency = 6 // cycles per switch-to-switch hop
+	DefaultLocalLatency  = 1 // cycles for a message that stays on-tile
+)
+
+// Handler consumes messages delivered to a node.
+type Handler interface {
+	Deliver(msg *memtypes.Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(*memtypes.Message)
+
+// Deliver calls f(msg).
+func (f HandlerFunc) Deliver(msg *memtypes.Message) { f(msg) }
+
+type direction int
+
+const (
+	dirEast direction = iota
+	dirWest
+	dirNorth
+	dirSouth
+	numDirs
+)
+
+// Stats accumulates network traffic counters.
+type Stats struct {
+	Messages uint64 // messages injected
+	Flits    uint64 // flits injected (message sizes)
+	FlitHops uint64 // flits x hops traversed: the traffic metric
+	Hops     uint64 // message-hops traversed
+	LinkWait uint64 // cycles messages spent waiting for busy links
+}
+
+// Mesh is a width x height 2D mesh network.
+type Mesh struct {
+	k             *sim.Kernel
+	width, height int
+	switchLat     uint64
+	localLat      uint64
+	handlers      []Handler
+	// linkFree[node][dir] is the first cycle the outgoing link of node
+	// in direction dir is idle.
+	linkFree [][numDirs]uint64
+	stats    Stats
+
+	// observer, when set, is called on every injection and delivery
+	// (tracing).
+	observer func(cycle uint64, msg *memtypes.Message, what string)
+
+	// ideal disables link contention and serialization: messages
+	// arrive after pure distance latency (ablation mode).
+	ideal bool
+}
+
+// New builds a width x height mesh on kernel k with default latencies.
+func New(k *sim.Kernel, width, height int) *Mesh {
+	if width <= 0 || height <= 0 {
+		panic("noc: mesh dimensions must be positive")
+	}
+	return &Mesh{
+		k:         k,
+		width:     width,
+		height:    height,
+		switchLat: DefaultSwitchLatency,
+		localLat:  DefaultLocalLatency,
+		handlers:  make([]Handler, width*height),
+		linkFree:  make([][numDirs]uint64, width*height),
+	}
+}
+
+// SetSwitchLatency overrides the per-hop switch latency.
+func (m *Mesh) SetSwitchLatency(cycles uint64) { m.switchLat = cycles }
+
+// SetIdeal toggles contentionless mode: no link serialization or
+// queueing, pure hops x switch latency. Traffic is still accounted in
+// flit-hops. Used to check that conclusions are not artifacts of the
+// contention model.
+func (m *Mesh) SetIdeal(v bool) { m.ideal = v }
+
+// Nodes returns the number of nodes in the mesh.
+func (m *Mesh) Nodes() int { return m.width * m.height }
+
+// Attach registers the message handler for node n.
+func (m *Mesh) Attach(n memtypes.NodeID, h Handler) {
+	m.handlers[m.check(n)] = h
+}
+
+// Stats returns a copy of the accumulated traffic counters.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// SetObserver installs a hook called with "send" at injection and
+// "deliver" at arrival of every message (nil disables tracing).
+func (m *Mesh) SetObserver(fn func(cycle uint64, msg *memtypes.Message, what string)) {
+	m.observer = fn
+}
+
+// ResetStats zeroes the traffic counters (used to scope measurement to a
+// parallel section).
+func (m *Mesh) ResetStats() { m.stats = Stats{} }
+
+func (m *Mesh) check(n memtypes.NodeID) int {
+	if int(n) < 0 || int(n) >= len(m.handlers) {
+		panic(fmt.Sprintf("noc: node %d out of range [0,%d)", n, len(m.handlers)))
+	}
+	return int(n)
+}
+
+func (m *Mesh) coords(n memtypes.NodeID) (x, y int) {
+	return int(n) % m.width, int(n) / m.width
+}
+
+func (m *Mesh) node(x, y int) memtypes.NodeID {
+	return memtypes.NodeID(y*m.width + x)
+}
+
+// HopCount returns the number of switch-to-switch hops between two nodes
+// under X-Y routing (the Manhattan distance).
+func (m *Mesh) HopCount(src, dst memtypes.NodeID) int {
+	sx, sy := m.coords(src)
+	dx, dy := m.coords(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+// Send injects msg into the network. The destination handler's Deliver is
+// invoked when the message arrives. Sends to the local node bypass the
+// network with a fixed small latency and are not counted as traffic.
+func (m *Mesh) Send(msg *memtypes.Message) {
+	m.check(msg.Src)
+	m.check(msg.Dst)
+	if m.observer != nil {
+		m.observer(m.k.Now(), msg, "send")
+	}
+	if msg.Src == msg.Dst {
+		m.k.Schedule(m.localLat, func() { m.deliver(msg) })
+		return
+	}
+	m.stats.Messages++
+	m.stats.Flits += uint64(msg.Flits())
+	if m.ideal {
+		hops := uint64(m.HopCount(msg.Src, msg.Dst))
+		m.stats.FlitHops += uint64(msg.Flits()) * hops
+		m.stats.Hops += hops
+		m.k.Schedule(hops*m.switchLat, func() { m.deliver(msg) })
+		return
+	}
+	m.hop(msg, msg.Src)
+}
+
+// hop routes msg one step from node at, scheduling the arrival at the next
+// router (or the final delivery).
+func (m *Mesh) hop(msg *memtypes.Message, at memtypes.NodeID) {
+	if at == msg.Dst {
+		m.deliver(msg)
+		return
+	}
+	x, y := m.coords(at)
+	dx, dy := m.coords(msg.Dst)
+	var dir direction
+	var next memtypes.NodeID
+	switch {
+	// Deterministic X-Y routing: fully resolve X before moving in Y.
+	case dx > x:
+		dir, next = dirEast, m.node(x+1, y)
+	case dx < x:
+		dir, next = dirWest, m.node(x-1, y)
+	case dy > y:
+		dir, next = dirSouth, m.node(x, y+1)
+	default:
+		dir, next = dirNorth, m.node(x, y-1)
+	}
+
+	flits := uint64(msg.Flits())
+	now := m.k.Now()
+	free := m.linkFree[at][dir]
+	depart := now
+	if free > now {
+		depart = free
+		m.stats.LinkWait += free - now
+	}
+	// The link is busy while the message's flits serialize onto it.
+	m.linkFree[at][dir] = depart + flits
+	m.stats.FlitHops += flits
+	m.stats.Hops++
+
+	arrive := depart + m.switchLat
+	m.k.At(arrive, func() { m.hop(msg, next) })
+}
+
+func (m *Mesh) deliver(msg *memtypes.Message) {
+	if m.observer != nil {
+		m.observer(m.k.Now(), msg, "deliver")
+	}
+	h := m.handlers[msg.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("noc: no handler attached to node %d for %s", msg.Dst, msg))
+	}
+	h.Deliver(msg)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,143 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All simulator components (cores, cache controllers, network routers)
+// schedule closures at absolute or relative cycle times. Events that share
+// a cycle fire in scheduling order, which makes every run bit-reproducible:
+// the heap is ordered by (time, sequence number).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrLimit is returned by Run when the cycle limit is reached with events
+// still pending. It usually indicates a deadlock or an undersized limit.
+var ErrLimit = errors.New("sim: cycle limit reached with pending events")
+
+type event struct {
+	when uint64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator clock and event queue.
+// The zero value is ready to use at cycle 0.
+type Kernel struct {
+	pq   eventHeap
+	now  uint64
+	seq  uint64
+	nrun uint64
+}
+
+// New returns a kernel at cycle zero.
+func New() *Kernel { return &Kernel{} }
+
+// Now reports the current simulation cycle.
+func (k *Kernel) Now() uint64 { return k.now }
+
+// Executed reports how many events have fired so far.
+func (k *Kernel) Executed() uint64 { return k.nrun }
+
+// Pending reports how many events are scheduled but not yet fired.
+func (k *Kernel) Pending() int { return len(k.pq) }
+
+// Schedule runs fn delay cycles from now. A delay of zero fires later in
+// the current cycle, after all previously scheduled events for this cycle.
+func (k *Kernel) Schedule(delay uint64, fn func()) {
+	k.At(k.now+delay, fn)
+}
+
+// At runs fn at the absolute cycle when. Scheduling in the past panics:
+// it is always a simulator bug.
+func (k *Kernel) At(when uint64, fn func()) {
+	if when < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", when, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	heap.Push(&k.pq, event{when: when, seq: k.seq, fn: fn})
+	k.seq++
+}
+
+// Step fires the single earliest pending event and advances the clock to
+// its time. It reports false if no events are pending.
+func (k *Kernel) Step() bool {
+	if len(k.pq) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.pq).(event)
+	k.now = e.when
+	k.nrun++
+	e.fn()
+	return true
+}
+
+// Run fires events until the queue drains or the clock would pass limit.
+// It returns nil when the queue drained, ErrLimit otherwise.
+// A limit of 0 means no limit.
+func (k *Kernel) Run(limit uint64) error {
+	for len(k.pq) > 0 {
+		if limit != 0 && k.pq[0].when > limit {
+			k.now = limit
+			return ErrLimit
+		}
+		e := heap.Pop(&k.pq).(event)
+		k.now = e.when
+		k.nrun++
+		e.fn()
+	}
+	return nil
+}
+
+// RunUntil fires events while cond returns false, stopping as soon as it
+// returns true (checked after each event) or the queue drains or the limit
+// is exceeded. It returns nil if cond became true.
+func (k *Kernel) RunUntil(limit uint64, cond func() bool) error {
+	if cond() {
+		return nil
+	}
+	for len(k.pq) > 0 {
+		if limit != 0 && k.pq[0].when > limit {
+			k.now = limit
+			return ErrLimit
+		}
+		e := heap.Pop(&k.pq).(event)
+		k.now = e.when
+		k.nrun++
+		e.fn()
+		if cond() {
+			return nil
+		}
+	}
+	if cond() {
+		return nil
+	}
+	return errors.New("sim: event queue drained before condition held")
+}

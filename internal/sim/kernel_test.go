@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var k Kernel
+	fired := false
+	k.Schedule(5, func() { fired = true })
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if k.Now() != 5 {
+		t.Fatalf("Now = %d, want 5", k.Now())
+	}
+}
+
+func TestFIFOWithinCycle(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(3, func() { order = append(order, i) })
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (same-cycle events must fire in scheduling order)", i, v, i)
+		}
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	k := New()
+	var times []uint64
+	delays := []uint64{9, 2, 7, 2, 0, 100, 1}
+	for _, d := range delays {
+		d := d
+		k.Schedule(d, func() { times = append(times, k.Now()) })
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
+		t.Fatalf("events fired out of time order: %v", times)
+	}
+	if len(times) != len(delays) {
+		t.Fatalf("fired %d events, want %d", len(times), len(delays))
+	}
+}
+
+func TestZeroDelayFiresSameCycle(t *testing.T) {
+	k := New()
+	var at uint64 = 999
+	k.Schedule(4, func() {
+		k.Schedule(0, func() { at = k.Now() })
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 4 {
+		t.Fatalf("zero-delay event fired at %d, want 4", at)
+	}
+}
+
+func TestChainedScheduling(t *testing.T) {
+	k := New()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 100 {
+			k.Schedule(1, step)
+		}
+	}
+	k.Schedule(1, step)
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", k.Now())
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	k := New()
+	fired := false
+	k.Schedule(50, func() { fired = true })
+	if err := k.Run(10); err != ErrLimit {
+		t.Fatalf("Run(10) err = %v, want ErrLimit", err)
+	}
+	if fired {
+		t.Fatal("event beyond limit fired")
+	}
+	if k.Now() != 10 {
+		t.Fatalf("Now = %d, want clamped to limit 10", k.Now())
+	}
+	// Resuming with a larger limit completes.
+	if err := k.Run(100); err != nil {
+		t.Fatalf("resume Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("event did not fire after resume")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	n := 0
+	for i := 1; i <= 10; i++ {
+		k.Schedule(uint64(i), func() { n++ })
+	}
+	err := k.RunUntil(0, func() bool { return n == 3 })
+	if err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("n = %d, want 3 (stop as soon as condition holds)", n)
+	}
+	if k.Now() != 3 {
+		t.Fatalf("Now = %d, want 3", k.Now())
+	}
+}
+
+func TestRunUntilDrained(t *testing.T) {
+	k := New()
+	k.Schedule(1, func() {})
+	if err := k.RunUntil(0, func() bool { return false }); err == nil {
+		t.Fatal("expected error when queue drains before condition holds")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := New()
+	k.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event function did not panic")
+		}
+	}()
+	New().Schedule(1, nil)
+}
+
+func TestStep(t *testing.T) {
+	k := New()
+	n := 0
+	k.Schedule(2, func() { n++ })
+	k.Schedule(4, func() { n++ })
+	if !k.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if n != 1 || k.Now() != 2 {
+		t.Fatalf("after one step: n=%d now=%d", n, k.Now())
+	}
+	if !k.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if k.Step() {
+		t.Fatal("Step returned true with empty queue")
+	}
+	if k.Executed() != 2 {
+		t.Fatalf("Executed = %d, want 2", k.Executed())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and ties fire in insertion order.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := New()
+		type rec struct {
+			when uint64
+			idx  int
+		}
+		var got []rec
+		for i, d := range delays {
+			i, d := i, uint64(d)
+			k.Schedule(d, func() { got = append(got, rec{k.Now(), i}) })
+		}
+		if err := k.Run(0); err != nil {
+			return false
+		}
+		if len(got) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].when < got[i-1].when {
+				return false
+			}
+			if got[i].when == got[i-1].when && got[i].idx < got[i-1].idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKernelChain(b *testing.B) {
+	k := New()
+	var step func()
+	n := 0
+	step = func() {
+		n++
+		if n < b.N {
+			k.Schedule(1, step)
+		}
+	}
+	k.Schedule(1, step)
+	b.ResetTimer()
+	if err := k.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package trace provides a lightweight structured event trace for the
+// simulator: network sends/deliveries and callback-directory activity can
+// be streamed to a writer or collected in a bounded ring buffer and
+// filtered by address — the first tool to reach for when a protocol run
+// misbehaves.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/memtypes"
+)
+
+// Event is one traced occurrence.
+type Event struct {
+	Cycle uint64
+	Node  memtypes.NodeID
+	What  string // e.g. "send", "deliver", "cb.block", "cb.wake"
+	Addr  memtypes.Addr
+	Note  string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("[%8d] node %2d %-10s %-10s %s", e.Cycle, e.Node, e.What, e.Addr, e.Note)
+}
+
+// Sink consumes events.
+type Sink interface {
+	Emit(Event)
+}
+
+// Ring is a bounded in-memory sink keeping the most recent events.
+type Ring struct {
+	buf   []Event
+	next  int
+	count int
+	// Filter keeps only events whose line matches (zero Addr keeps
+	// everything).
+	Filter memtypes.Addr
+}
+
+// NewRing builds a ring holding up to n events.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 1024
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	if r.Filter != 0 && e.Addr.Line() != r.Filter.Line() {
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Len reports the number of retained events.
+func (r *Ring) Len() int { return r.count }
+
+// Dump renders the retained events to w.
+func (r *Ring) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// Writer is a sink that renders events immediately (streams a live
+// trace).
+type Writer struct {
+	W io.Writer
+	// Filter keeps only events whose line matches (zero keeps all).
+	Filter memtypes.Addr
+}
+
+// Emit implements Sink.
+func (w *Writer) Emit(e Event) {
+	if w.Filter != 0 && e.Addr.Line() != w.Filter.Line() {
+		return
+	}
+	fmt.Fprintln(w.W, e)
+}
+
+// Multi fans events out to several sinks.
+type Multi []Sink
+
+// Emit implements Sink.
+func (m Multi) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Summarize aggregates an event slice into "what -> count" lines, useful
+// in tests and quick looks.
+func Summarize(events []Event) string {
+	counts := map[string]int{}
+	var order []string
+	for _, e := range events {
+		if counts[e.What] == 0 {
+			order = append(order, e.What)
+		}
+		counts[e.What]++
+	}
+	var b strings.Builder
+	for _, w := range order {
+		fmt.Fprintf(&b, "%s=%d ", w, counts[w])
+	}
+	return strings.TrimSpace(b.String())
+}

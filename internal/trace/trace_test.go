@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memtypes"
+)
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Cycle: uint64(i), What: "send"})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	if evs[0].Cycle != 2 || evs[2].Cycle != 4 {
+		t.Fatalf("wrong window: %v", evs)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRingFilter(t *testing.T) {
+	r := NewRing(8)
+	r.Filter = 0x1000
+	r.Emit(Event{Addr: 0x1008, What: "keep"}) // same line
+	r.Emit(Event{Addr: 0x2000, What: "drop"})
+	if r.Len() != 1 || r.Events()[0].What != "keep" {
+		t.Fatalf("filter broken: %v", r.Events())
+	}
+}
+
+func TestWriterStreams(t *testing.T) {
+	var sb strings.Builder
+	w := &Writer{W: &sb}
+	w.Emit(Event{Cycle: 7, Node: 3, What: "cb.wake", Addr: 0x40})
+	if !strings.Contains(sb.String(), "cb.wake") || !strings.Contains(sb.String(), "node  3") {
+		t.Fatalf("stream output: %q", sb.String())
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewRing(4), NewRing(4)
+	Multi{a, b}.Emit(Event{What: "x"})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatal("multi sink did not fan out")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	evs := []Event{{What: "send"}, {What: "send"}, {What: "deliver"}}
+	s := Summarize(evs)
+	if !strings.Contains(s, "send=2") || !strings.Contains(s, "deliver=1") {
+		t.Fatalf("summary: %q", s)
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRing(2)
+	r.Emit(Event{What: "a", Addr: memtypes.Addr(0x40)})
+	var sb strings.Builder
+	r.Dump(&sb)
+	if !strings.Contains(sb.String(), "0x40") {
+		t.Fatalf("dump: %q", sb.String())
+	}
+}
+
+func TestZeroSizeRingDefaults(t *testing.T) {
+	r := NewRing(0)
+	r.Emit(Event{})
+	if r.Len() != 1 {
+		t.Fatal("default-capacity ring broken")
+	}
+}

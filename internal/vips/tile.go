@@ -1,0 +1,22 @@
+package vips
+
+import (
+	"repro/internal/memtypes"
+)
+
+// Tile bundles one node's L1 and LLC bank controller and demultiplexes
+// network messages between them.
+type Tile struct {
+	L1   *L1
+	Bank *Bank
+}
+
+// Deliver implements noc.Handler.
+func (t *Tile) Deliver(msg *memtypes.Message) {
+	switch msg.Kind {
+	case MsgGetLine, MsgWTLine, MsgRacy:
+		t.Bank.Deliver(msg)
+	default:
+		t.L1.Deliver(msg)
+	}
+}
