@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test vet race bench ci figures
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs every benchmark once: a smoke pass that exercises the figure
+# regeneration paths and the alloc-counting benchmarks without the full
+# measurement cost.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# ci is the full gate: vet, build, race-enabled tests, and a single-shot
+# benchmark pass.
+ci: vet build race bench
+
+# figures regenerates every table of the paper at full 64-core scale.
+figures:
+	$(GO) run ./cmd/experiments -fig all

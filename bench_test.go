@@ -15,6 +15,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/memtypes"
+	"repro/internal/sim"
 	"repro/internal/synclib"
 	"repro/internal/workload"
 )
@@ -78,6 +79,44 @@ func BenchmarkTable1Primitives(b *testing.B) {
 				total += m.Stats().Cycles
 			}
 			reportRatio(b, "cycles/op", float64(total)/float64(b.N))
+		})
+	}
+}
+
+// BenchmarkKernelHotPath measures the event-kernel inner loop: one
+// schedule + one step per iteration. This is the path every simulated
+// cycle exercises; it must report 0 allocs/op.
+func BenchmarkKernelHotPath(b *testing.B) {
+	k := sim.New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(1, fn)
+		k.Step()
+	}
+}
+
+// BenchmarkSuiteParallel compares a reduced Figure 21 sweep run serially
+// against the worker-pool fan-out. On a multi-core host the parallel
+// sub-benchmark's ns/op drops roughly with min(GOMAXPROCS, cells); the
+// results themselves are identical either way (see
+// TestParallelSuiteMatchesSerial).
+func BenchmarkSuiteParallel(b *testing.B) {
+	setups := experiments.StandardSetups()
+	for _, par := range []struct {
+		name string
+		n    int
+	}{{"serial", 1}, {"parallel", 8}} {
+		b.Run(par.name, func(b *testing.B) {
+			o := benchOptions()
+			o.Benchmarks = []string{"radiosity", "ocean", "fft"}
+			o.Parallelism = par.n
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunSuite(setups, workload.StyleScalable, o); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -2,16 +2,20 @@
 //
 // Usage:
 //
-//	experiments [-fig all|1|20|21|22|23|sens|headline] [-cores N] [-v] [-bench a,b,c]
+//	experiments [-fig all|1|20|21|22|23|sens|headline] [-cores N] [-parallel N] [-v] [-bench a,b,c]
 //
 // With the defaults (64 cores, all 19 benchmarks) the full run takes
-// several minutes; use -cores 16 and/or -bench for quick looks.
+// several minutes; use -cores 16 and/or -bench for quick looks. Sweeps
+// fan their (benchmark x setup) cells out over -parallel worker
+// goroutines (default: GOMAXPROCS); every cell simulates on its own
+// kernel, so the tables are byte-identical to a -parallel=1 run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,6 +27,8 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: all, 1, 20, 21, 22, 23, sens, headline, naive, locks, quiesce, idle")
 	cores := flag.Int("cores", 64, "simulated cores (perfect square, <= 64)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines per sweep (1 = serial; results are identical either way)")
 	verbose := flag.Bool("v", false, "log each simulation run")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 19)")
 	csv := flag.String("csv", "", "directory to also write each table as CSV")
@@ -35,7 +41,7 @@ func main() {
 		}
 	}
 
-	o := experiments.Options{Cores: *cores}
+	o := experiments.Options{Cores: *cores, Parallelism: *parallel}
 	if *benchList != "" {
 		o.Benchmarks = strings.Split(*benchList, ",")
 	}

@@ -6,6 +6,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/energy"
 	"repro/internal/machine"
@@ -75,11 +78,21 @@ type Options struct {
 	// Benchmarks restricts suite sweeps to the named profiles (nil
 	// means all 19).
 	Benchmarks []string
+	// Parallelism is the number of worker goroutines sweeps may use.
+	// Each (benchmark x setup) cell runs on its own goroutine with its
+	// own Machine and Kernel, so results are byte-identical to a serial
+	// sweep. Defaults to runtime.GOMAXPROCS(0); 1 forces serial
+	// execution.
+	Parallelism int
 	// Verbose enables per-run progress lines via Logf.
 	Logf func(format string, args ...any)
 	// Trace, when set, receives network and callback-directory events
 	// from every run.
 	Trace trace.Sink
+
+	// safe records that Logf and Trace have already been wrapped for
+	// concurrent use, so repeated fill calls do not stack mutexes.
+	safe bool
 }
 
 // profiles returns the benchmark set selected by the options.
@@ -108,10 +121,72 @@ func (o Options) fill() Options {
 	if o.Limit == 0 {
 		o.Limit = 200_000_000
 	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
+	if o.Parallelism > 1 && !o.safe {
+		// Cells run concurrently but share the log and trace sinks:
+		// serialize the fan-in so sweeps are race-free.
+		var mu sync.Mutex
+		logf := o.Logf
+		o.Logf = func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			logf(format, args...)
+		}
+		if o.Trace != nil {
+			o.Trace = trace.NewLocked(o.Trace)
+		}
+		o.safe = true
+	}
 	return o
+}
+
+// forEach runs fn(0) .. fn(n-1) across up to o.Parallelism worker
+// goroutines and waits for all of them. Every index runs exactly once;
+// with Parallelism <= 1 the calls happen inline, in order. The returned
+// error is deterministic regardless of scheduling: the one from the
+// lowest failing index.
+func (o Options) forEach(n int, fn func(i int) error) error {
+	workers := o.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Result is the outcome of one benchmark x setup run.

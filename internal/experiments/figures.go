@@ -16,10 +16,37 @@ type SuiteResults struct {
 }
 
 // RunSuite runs all 19 benchmarks under the given setups with one
-// synchronization style.
+// synchronization style. Cells run across Options.Parallelism worker
+// goroutines, each on its own Machine and Kernel; the collected results
+// are byte-identical to a serial sweep (each simulation is fully
+// deterministic and shares no state with its siblings).
 func RunSuite(setups []Setup, style workload.SyncStyle, o Options) (*SuiteResults, error) {
 	o = o.fill()
 	ps, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	type cell struct {
+		p workload.Profile
+		s Setup
+	}
+	var cells []cell
+	for _, p := range ps {
+		for _, s := range setups {
+			cells = append(cells, cell{p, s})
+		}
+	}
+	results := make([]Result, len(cells))
+	err = o.forEach(len(cells), func(i int) error {
+		c := cells[i]
+		o.Logf("run %-14s %-13s (%s)", c.p.Name, c.s.Name, style)
+		res, err := RunBenchmark(c.p, c.s, style, o)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -29,15 +56,10 @@ func RunSuite(setups []Setup, style workload.SyncStyle, o Options) (*SuiteResult
 	}
 	for _, p := range ps {
 		sr.Names = append(sr.Names, p.Name)
-		sr.Results[p.Name] = make(map[string]Result)
-		for _, s := range setups {
-			o.Logf("run %-14s %-13s (%s)", p.Name, s.Name, style)
-			res, err := RunBenchmark(p, s, style, o)
-			if err != nil {
-				return nil, err
-			}
-			sr.Results[p.Name][s.Name] = res
-		}
+		sr.Results[p.Name] = make(map[string]Result, len(setups))
+	}
+	for i, c := range cells {
+		sr.Results[c.p.Name][c.s.Name] = results[i]
 	}
 	return sr, nil
 }
@@ -205,39 +227,56 @@ func Fig23(o Options) (*metrics.Table, error) {
 	setups := StandardSetups()
 	lockKinds := []workload.LockKind{workload.LockTTAS, workload.LockCLH}
 
-	// base: Invalidation with CLH locks.
+	// base: Invalidation with CLH locks (one of the grid cells).
 	type key struct {
 		lock  workload.LockKind
 		setup string
 	}
-	times := map[key][]float64{}
-	trafs := map[key][]float64{}
 	ps, err := o.profiles()
 	if err != nil {
 		return nil, err
 	}
+	type cell struct {
+		p  workload.Profile
+		lk workload.LockKind
+		s  Setup
+	}
+	var cells []cell
 	for _, p := range ps {
-		base, err := RunBenchmarkCustom(p, setups[0], workload.LockCLH, workload.BarrierTree, o)
-		if err != nil {
-			return nil, err
-		}
 		for _, lk := range lockKinds {
 			for _, s := range setups {
-				o.Logf("run fig23 %-14s lock=%-6s %-13s", p.Name, lk, s.Name)
-				var res Result
-				if lk == workload.LockCLH && s.Name == setups[0].Name {
-					res = base
-				} else {
-					var err error
-					res, err = RunBenchmarkCustom(p, s, lk, workload.BarrierTree, o)
-					if err != nil {
-						return nil, err
-					}
-				}
-				k := key{lk, s.Name}
-				times[k] = append(times[k], res.Time()/base.Time())
-				trafs[k] = append(trafs[k], res.Traffic()/base.Traffic())
+				cells = append(cells, cell{p, lk, s})
 			}
+		}
+	}
+	results := make([]Result, len(cells))
+	err = o.forEach(len(cells), func(i int) error {
+		c := cells[i]
+		o.Logf("run fig23 %-14s lock=%-6s %-13s", c.p.Name, c.lk, c.s.Name)
+		res, err := RunBenchmarkCustom(c.p, c.s, c.lk, workload.BarrierTree, o)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	times := map[key][]float64{}
+	trafs := map[key][]float64{}
+	cellsPerProfile := len(lockKinds) * len(setups)
+	for pi := range ps {
+		var base Result
+		for i := pi * cellsPerProfile; i < (pi+1)*cellsPerProfile; i++ {
+			if cells[i].lk == workload.LockCLH && cells[i].s.Name == setups[0].Name {
+				base = results[i]
+			}
+		}
+		for i := pi * cellsPerProfile; i < (pi+1)*cellsPerProfile; i++ {
+			k := key{cells[i].lk, cells[i].s.Name}
+			times[k] = append(times[k], results[i].Time()/base.Time())
+			trafs[k] = append(trafs[k], results[i].Traffic()/base.Traffic())
 		}
 	}
 	t := metrics.NewTable("Figure 23 (TreeSR barrier; geomean, normalized to Invalidation+CLH)",
@@ -263,25 +302,41 @@ func SensitivityEntries(o Options) (*metrics.Table, error) {
 	setup, _ := SetupByName("CB-One")
 	t := metrics.NewTable("Callback directory size sensitivity (time normalized to 4 entries/bank)",
 		"4", "16", "64", "256")
+	type cell struct {
+		p       workload.Profile
+		entries int
+	}
+	var cells []cell
 	for _, name := range subset {
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
+		for _, e := range entries {
+			cells = append(cells, cell{p, e})
+		}
+	}
+	results := make([]Result, len(cells))
+	err := o.forEach(len(cells), func(i int) error {
+		c := cells[i]
+		oe := o
+		oe.CBEntries = c.entries
+		o.Logf("run sensitivity %-14s entries=%d", c.p.Name, c.entries)
+		res, err := RunBenchmark(c.p, setup, workload.StyleScalable, oe)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, name := range subset {
 		row := make([]float64, len(entries))
-		var base float64
-		for i, e := range entries {
-			oe := o
-			oe.CBEntries = e
-			o.Logf("run sensitivity %-14s entries=%d", name, e)
-			res, err := RunBenchmark(p, setup, workload.StyleScalable, oe)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				base = res.Time()
-			}
-			row[i] = res.Time() / base
+		base := results[bi*len(entries)].Time()
+		for i := range entries {
+			row[i] = results[bi*len(entries)+i].Time() / base
 		}
 		t.AddRow(name, row...)
 	}

@@ -28,16 +28,25 @@ func ExtensionIdleEnergy(o Options) (*metrics.Table, error) {
 
 	t := metrics.NewTable("Idle-while-blocked extension (geomean over benchmarks)",
 		"idle fraction", "core+mem energy")
+	results := make([]Result, len(ps)*len(setups))
+	err = o.forEach(len(results), func(i int) error {
+		p, s := ps[i/len(setups)], setups[i%len(setups)]
+		o.Logf("run idle-ext %-14s %-13s", p.Name, s.Name)
+		res, err := RunBenchmark(p, s, workload.StyleScalable, o)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	perSetup := map[string][][]float64{}
-	for _, p := range ps {
+	for pi := range ps {
 		var baseEnergy float64
 		for i, s := range setups {
-			o.Logf("run idle-ext %-14s %-13s", p.Name, s.Name)
-			res, err := RunBenchmark(p, s, workload.StyleScalable, o)
-			if err != nil {
-				return nil, err
-			}
-			st := res.Stats
+			st := results[pi*len(setups)+i].Stats
 			e := energy.Compute(energy.Counts{
 				L1Accesses:       st.L1Accesses,
 				LLCTagAccesses:   st.LLCAccesses - st.LLCDataAccesses,

@@ -39,15 +39,25 @@ func ExtensionLocks(o Options) (lat, llc *metrics.Table, err error) {
 		{"CLH", func(l *synclib.Layout, n int) synclib.Lock { return synclib.NewCLHLock(l, n) }},
 		{"MCS", func(l *synclib.Layout, n int) synclib.Lock { return synclib.NewMCSLock(l, n) }},
 	}
-	for _, lk := range locks {
+	stats := make([]machine.Stats, len(locks)*len(setups))
+	err = o.forEach(len(stats), func(i int) error {
+		lk, s := locks[i/len(setups)], setups[i%len(setups)]
+		o.Logf("run lock-ext %-8s %-13s", lk.name, s.Name)
+		st, err := runLockMicro(lk.mk, s, o)
+		if err != nil {
+			return err
+		}
+		stats[i] = st
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for li, lk := range locks {
 		latRow := make([]float64, len(setups))
 		llcRow := make([]float64, len(setups))
-		for i, s := range setups {
-			o.Logf("run lock-ext %-8s %-13s", lk.name, s.Name)
-			st, err := runLockMicro(lk.mk, s, o)
-			if err != nil {
-				return nil, nil, err
-			}
+		for i := range setups {
+			st := stats[li*len(setups)+i]
 			latRow[i] = st.SyncLatency(isa.SyncAcquire)
 			llcRow[i] = float64(st.LLCSyncByKind[isa.SyncAcquire])
 		}

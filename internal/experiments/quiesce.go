@@ -35,18 +35,25 @@ func ExtensionQuiesce(o Options) (*metrics.Table, error) {
 	setups := ExtensionSetups()
 	t := metrics.NewTable("Quiesce extension (geomean, normalized to Invalidation)",
 		"time", "traffic", "L1 accesses", "energy")
+	results := make([]Result, len(ps)*len(setups))
+	err = o.forEach(len(results), func(i int) error {
+		p, s := ps[i/len(setups)], setups[i%len(setups)]
+		o.Logf("run quiesce-ext %-14s %-13s", p.Name, s.Name)
+		res, err := RunBenchmark(p, s, workload.StyleScalable, o)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	cols := map[string][][]float64{}
-	for _, p := range ps {
-		var base Result
+	for pi := range ps {
+		base := results[pi*len(setups)]
 		for i, s := range setups {
-			o.Logf("run quiesce-ext %-14s %-13s", p.Name, s.Name)
-			res, err := RunBenchmark(p, s, workload.StyleScalable, o)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				base = res
-			}
+			res := results[pi*len(setups)+i]
 			cols[s.Name] = append(cols[s.Name], []float64{
 				res.Time() / base.Time(),
 				res.Traffic() / base.Traffic(),

@@ -96,3 +96,32 @@ func (m *Message) Flits() int {
 func (m *Message) String() string {
 	return fmt.Sprintf("msg{%d->%d kind=%#x %s addr=%s}", m.Src, m.Dst, uint16(m.Kind), m.Class, m.Addr)
 }
+
+// MsgPool is a free list of Messages. Each simulated machine is driven by
+// a single goroutine, so the pool is deliberately unsynchronized (unlike
+// sync.Pool) and deterministic: steady-state message traffic performs no
+// heap allocations. The zero value is ready to use.
+type MsgPool struct {
+	free []*Message
+}
+
+// Get returns a zeroed message, reusing a freed one when available.
+func (p *MsgPool) Get() *Message {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return m
+	}
+	return &Message{}
+}
+
+// Put returns msg to the pool, zeroing it. The caller must not retain
+// msg afterwards: the next Get may hand it out again.
+func (p *MsgPool) Put(msg *Message) {
+	*msg = Message{}
+	p.free = append(p.free, msg)
+}
+
+// Len reports the number of pooled messages (tests).
+func (p *MsgPool) Len() int { return len(p.free) }

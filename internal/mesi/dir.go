@@ -152,18 +152,23 @@ func (d *Dir) Deliver(msg *memtypes.Message) {
 	}
 }
 
-// grant sends a data response after an LLC access.
+// grant sends a data response after an LLC access and recycles the
+// request message: it is the terminal step of every GetS/GetX
+// transaction.
 func (d *Dir) grant(msg *memtypes.Message, kind memtypes.MsgKind, done func()) {
 	lat := d.data.Access(msg.Addr, true, reqSyncKind(msg.Req))
 	d.k.Schedule(lat, func() {
-		d.mesh.Send(&memtypes.Message{
+		data := d.mesh.NewMessage()
+		*data = memtypes.Message{
 			Src: d.id, Dst: msg.Src, Kind: kind,
 			Class: memtypes.ClassLineData, Addr: msg.Addr, Core: msg.Core,
 			LineData: d.store.LoadLine(msg.Addr),
-		})
+		}
+		d.mesh.Send(data)
 		if done != nil {
 			done()
 		}
+		d.mesh.Free(msg)
 	})
 }
 
@@ -176,10 +181,12 @@ func (d *Dir) handleGetS(msg *memtypes.Message) {
 		t := d.begin(msg.Addr)
 		d.stats.Forwards++
 		owner := l.owner
-		d.mesh.Send(&memtypes.Message{
+		fwd := d.mesh.NewMessage()
+		*fwd = memtypes.Message{
 			Src: d.id, Dst: memtypes.NodeID(owner), Kind: MsgFwdGetS,
 			Class: memtypes.ClassControl, Addr: msg.Addr, Core: msg.Core,
-		})
+		}
+		d.mesh.Send(fwd)
 		t.cont = func() {
 			l.owner = -1
 			l.sharers = 1<<uint(owner) | 1<<uint(r)
@@ -207,10 +214,12 @@ func (d *Dir) handleGetX(msg *memtypes.Message) {
 		// Forward to the owner; it invalidates and returns data.
 		t := d.begin(msg.Addr)
 		d.stats.Forwards++
-		d.mesh.Send(&memtypes.Message{
+		fwd := d.mesh.NewMessage()
+		*fwd = memtypes.Message{
 			Src: d.id, Dst: memtypes.NodeID(l.owner), Kind: MsgFwdGetX,
 			Class: memtypes.ClassControl, Addr: msg.Addr, Core: msg.Core,
-		})
+		}
+		d.mesh.Send(fwd)
 		t.cont = func() {
 			l.owner = r
 			l.sharers = 0
@@ -233,10 +242,12 @@ func (d *Dir) handleGetX(msg *memtypes.Message) {
 		for n := 0; toInv != 0; n++ {
 			if toInv&1 != 0 {
 				d.stats.InvsSent++
-				d.mesh.Send(&memtypes.Message{
+				inv := d.mesh.NewMessage()
+				*inv = memtypes.Message{
 					Src: d.id, Dst: memtypes.NodeID(n), Kind: MsgInv,
 					Class: memtypes.ClassControl, Addr: msg.Addr, Core: msg.Core,
-				})
+				}
+				d.mesh.Send(inv)
 			}
 			toInv >>= 1
 		}
@@ -267,10 +278,13 @@ func (d *Dir) handlePut(msg *memtypes.Message) {
 	}
 	// A Put from a non-owner is stale (the line was forwarded away in
 	// the meantime): ack and ignore.
-	d.mesh.Send(&memtypes.Message{
+	ack := d.mesh.NewMessage()
+	*ack = memtypes.Message{
 		Src: d.id, Dst: msg.Src, Kind: MsgWBAck,
 		Class: memtypes.ClassControl, Addr: msg.Addr, Core: msg.Core,
-	})
+	}
+	d.mesh.Free(msg)
+	d.mesh.Send(ack)
 }
 
 func (d *Dir) handleInvAck(msg *memtypes.Message) {
@@ -278,6 +292,7 @@ func (d *Dir) handleInvAck(msg *memtypes.Message) {
 	if t == nil || t.acksPending == 0 {
 		panic(fmt.Sprintf("mesi: dir %d spurious InvAck for %s", d.id, msg.Addr))
 	}
+	d.mesh.Free(msg)
 	t.acksPending--
 	if t.acksPending == 0 {
 		t.cont()
@@ -289,6 +304,7 @@ func (d *Dir) handleDataWB(msg *memtypes.Message) {
 	if t == nil || t.cont == nil {
 		panic(fmt.Sprintf("mesi: dir %d spurious DataWB for %s", d.id, msg.Addr))
 	}
+	d.mesh.Free(msg)
 	cont := t.cont
 	t.cont = nil
 	cont()

@@ -155,11 +155,13 @@ func (l *L1) Access(req *memtypes.Request, done func(memtypes.Response)) {
 }
 
 func (l *L1) request(kind memtypes.MsgKind, req *memtypes.Request) {
-	l.mesh.Send(&memtypes.Message{
+	msg := l.mesh.NewMessage()
+	*msg = memtypes.Message{
 		Src: l.id, Dst: l.bankOf(req.Addr), Kind: kind,
 		Class: memtypes.ClassControl, Addr: req.Addr.Line(),
 		Core: l.id, Req: req,
-	})
+	}
+	l.mesh.Send(msg)
 }
 
 // finish applies the pending operation to a resident line with the
@@ -210,6 +212,7 @@ func (l *L1) handleData(msg *memtypes.Message) {
 		// A DataX response supersedes any stale local copy.
 		line.Data = msg.LineData
 	}
+	l.mesh.Free(msg)
 	l.finish(line, mem.DefaultL1Latency, false)
 }
 
@@ -222,16 +225,20 @@ func (l *L1) evictFor(addr memtypes.Addr) {
 	switch v.State.state {
 	case StateM:
 		l.stats.Writebacks++
-		l.mesh.Send(&memtypes.Message{
+		msg := l.mesh.NewMessage()
+		*msg = memtypes.Message{
 			Src: l.id, Dst: l.bankOf(v.Addr), Kind: MsgPutM,
 			Class: memtypes.ClassLineData, Addr: v.Addr, Core: l.id,
 			LineData: v.Data,
-		})
+		}
+		l.mesh.Send(msg)
 	case StateE:
-		l.mesh.Send(&memtypes.Message{
+		msg := l.mesh.NewMessage()
+		*msg = memtypes.Message{
 			Src: l.id, Dst: l.bankOf(v.Addr), Kind: MsgPutE,
 			Class: memtypes.ClassControl, Addr: v.Addr, Core: l.id,
-		})
+		}
+		l.mesh.Send(msg)
 	case StateS:
 		// Silent eviction: the directory's sharer bit goes stale and a
 		// later Inv is acked without a copy.
@@ -245,10 +252,13 @@ func (l *L1) handleInv(msg *memtypes.Message) {
 		l.stats.Invalidations++
 	}
 	l.monitorInvalidated(msg.Addr)
-	l.mesh.Send(&memtypes.Message{
+	ack := l.mesh.NewMessage()
+	*ack = memtypes.Message{
 		Src: l.id, Dst: msg.Src, Kind: MsgInvAck,
 		Class: memtypes.ClassControl, Addr: msg.Addr, Core: l.id,
-	})
+	}
+	l.mesh.Free(msg)
+	l.mesh.Send(ack)
 }
 
 // handleFwd serves a forwarded request: return the line to the directory
@@ -267,11 +277,14 @@ func (l *L1) handleFwd(msg *memtypes.Message) {
 			l.monitorInvalidated(msg.Addr)
 		}
 	}
-	l.mesh.Send(&memtypes.Message{
+	wb := l.mesh.NewMessage()
+	*wb = memtypes.Message{
 		Src: l.id, Dst: msg.Src, Kind: MsgDataWB,
 		Class: memtypes.ClassLineData, Addr: msg.Addr, Core: msg.Core,
 		LineData: data,
-	})
+	}
+	l.mesh.Free(msg)
+	l.mesh.Send(wb)
 }
 
 // Deliver routes directory-to-L1 messages.
@@ -285,6 +298,7 @@ func (l *L1) Deliver(msg *memtypes.Message) {
 		l.handleFwd(msg)
 	case MsgWBAck:
 		// Writebacks are fire-and-forget.
+		l.mesh.Free(msg)
 	default:
 		panic(fmt.Sprintf("mesi: L1 %d cannot handle %s", l.id, msg))
 	}

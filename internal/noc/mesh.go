@@ -64,6 +64,11 @@ type Mesh struct {
 	linkFree [][numDirs]uint64
 	stats    Stats
 
+	// pool recycles Messages: senders allocate with NewMessage and the
+	// final consumer returns them with Free, so steady-state traffic
+	// performs no heap allocations.
+	pool memtypes.MsgPool
+
 	// observer, when set, is called on every injection and delivery
 	// (tracing).
 	observer func(cycle uint64, msg *memtypes.Message, what string)
@@ -119,6 +124,15 @@ func (m *Mesh) SetObserver(fn func(cycle uint64, msg *memtypes.Message, what str
 // parallel section).
 func (m *Mesh) ResetStats() { m.stats = Stats{} }
 
+// NewMessage returns a zeroed message from the mesh's free list. Senders
+// fill it and pass it to Send; the node that finally consumes it returns
+// it with Free.
+func (m *Mesh) NewMessage() *memtypes.Message { return m.pool.Get() }
+
+// Free recycles a message once its final consumer is done with it. The
+// caller must not retain msg (or schedule work referencing it) afterwards.
+func (m *Mesh) Free(msg *memtypes.Message) { m.pool.Put(msg) }
+
 func (m *Mesh) check(n memtypes.NodeID) int {
 	if int(n) < 0 || int(n) >= len(m.handlers) {
 		panic(fmt.Sprintf("noc: node %d out of range [0,%d)", n, len(m.handlers)))
@@ -152,7 +166,7 @@ func (m *Mesh) Send(msg *memtypes.Message) {
 		m.observer(m.k.Now(), msg, "send")
 	}
 	if msg.Src == msg.Dst {
-		m.k.Schedule(m.localLat, func() { m.deliver(msg) })
+		m.k.ScheduleActor(m.localLat, m, msg, uint64(msg.Dst))
 		return
 	}
 	m.stats.Messages++
@@ -161,10 +175,18 @@ func (m *Mesh) Send(msg *memtypes.Message) {
 		hops := uint64(m.HopCount(msg.Src, msg.Dst))
 		m.stats.FlitHops += uint64(msg.Flits()) * hops
 		m.stats.Hops += hops
-		m.k.Schedule(hops*m.switchLat, func() { m.deliver(msg) })
+		m.k.ScheduleActor(hops*m.switchLat, m, msg, uint64(msg.Dst))
 		return
 	}
 	m.hop(msg, msg.Src)
+}
+
+// Act implements sim.Actor: it resumes a message at node arg, either
+// forwarding it one more hop or delivering it. Scheduling the mesh itself
+// as the actor (with the message as payload) makes per-hop routing free of
+// closure allocations.
+func (m *Mesh) Act(data any, arg uint64) {
+	m.hop(data.(*memtypes.Message), memtypes.NodeID(arg))
 }
 
 // hop routes msg one step from node at, scheduling the arrival at the next
@@ -204,7 +226,7 @@ func (m *Mesh) hop(msg *memtypes.Message, at memtypes.NodeID) {
 	m.stats.Hops++
 
 	arrive := depart + m.switchLat
-	m.k.At(arrive, func() { m.hop(msg, next) })
+	m.k.AtActor(arrive, m, msg, uint64(next))
 }
 
 func (m *Mesh) deliver(msg *memtypes.Message) {

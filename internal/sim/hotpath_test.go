@@ -1,0 +1,92 @@
+package sim
+
+import "testing"
+
+// The kernel hot path must not allocate: every simulated cycle pops and
+// pushes events, so a single allocation per event dominates the profile.
+
+func TestScheduleStepNoAllocs(t *testing.T) {
+	k := New()
+	fn := func() {} // static: capturing nothing, allocated once
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.Schedule(1, fn)
+		if !k.Step() {
+			t.Fatal("Step returned false with a pending event")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Step allocated %.1f times per event, want 0", allocs)
+	}
+}
+
+type recordingActor struct {
+	data []any
+	args []uint64
+}
+
+func (a *recordingActor) Act(data any, arg uint64) {
+	a.data = append(a.data, data)
+	a.args = append(a.args, arg)
+}
+
+func TestActorScheduling(t *testing.T) {
+	k := New()
+	a := &recordingActor{}
+	payload := &struct{ n int }{n: 7}
+	k.ScheduleActor(3, a, payload, 42)
+	k.AtActor(5, a, nil, 99)
+	var closureAt uint64
+	k.Schedule(4, func() { closureAt = k.Now() })
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(a.args) != 2 || a.args[0] != 42 || a.args[1] != 99 {
+		t.Fatalf("actor args = %v, want [42 99]", a.args)
+	}
+	if a.data[0] != payload || a.data[1] != nil {
+		t.Fatalf("actor data not passed through verbatim: %v", a.data)
+	}
+	if closureAt != 4 {
+		t.Fatalf("interleaved closure fired at %d, want 4", closureAt)
+	}
+}
+
+func TestNilActorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil actor did not panic")
+		}
+	}()
+	New().ScheduleActor(1, nil, nil, 0)
+}
+
+func TestActorScheduleNoAllocs(t *testing.T) {
+	k := New()
+	a := &recordingActor{data: make([]any, 0, 4096), args: make([]uint64, 0, 4096)}
+	payload := &struct{ n int }{} // pointer payload: stored in `any` without boxing
+	allocs := testing.AllocsPerRun(1000, func() {
+		a.data, a.args = a.data[:0], a.args[:0]
+		k.ScheduleActor(1, a, payload, 7)
+		if !k.Step() {
+			t.Fatal("Step returned false with a pending event")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ScheduleActor+Step allocated %.1f times per event, want 0", allocs)
+	}
+}
+
+// Popping must zero the vacated tail slot: otherwise the backing array
+// pins the last-popped closure (and everything it captures) forever.
+func TestPopZeroesVacatedSlot(t *testing.T) {
+	k := New()
+	k.Schedule(1, func() {})
+	k.Schedule(2, func() {})
+	if !k.Step() {
+		t.Fatal("Step returned false")
+	}
+	tail := k.pq[:2][1]
+	if tail.fn != nil || tail.actor != nil || tail.data != nil {
+		t.Fatalf("vacated heap slot not zeroed: %+v", tail)
+	}
+}

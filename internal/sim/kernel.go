@@ -4,10 +4,16 @@
 // schedule closures at absolute or relative cycle times. Events that share
 // a cycle fire in scheduling order, which makes every run bit-reproducible:
 // the heap is ordered by (time, sequence number).
+//
+// The event queue is a hand-rolled typed binary min-heap rather than
+// container/heap: the interface-based heap boxes every event into an `any`
+// on Push/Pop, which costs an allocation and an indirect call per event —
+// the dominant overhead of a simulator whose events are tiny closures.
+// The typed heap keeps events in a flat pre-grown []event and performs
+// zero heap allocations per Schedule/Step in steady state.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -16,47 +22,50 @@ import (
 // still pending. It usually indicates a deadlock or an undersized limit.
 var ErrLimit = errors.New("sim: cycle limit reached with pending events")
 
+// Actor is a pre-bound event target. Scheduling an actor instead of a
+// closure avoids the per-event closure allocation on hot paths that fire
+// many events against one long-lived object (e.g. per-hop message routing
+// in the NoC): the receiver, a pointer payload, and a small scalar are
+// stored inline in the event.
+type Actor interface {
+	// Act fires the event. data and arg are the values passed to
+	// AtActor/ScheduleActor, verbatim.
+	Act(data any, arg uint64)
+}
+
 type event struct {
 	when uint64
 	seq  uint64
 	fn   func()
+	// actor/data/arg describe an actor event (fn == nil).
+	actor Actor
+	data  any
+	arg   uint64
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// before orders events by (time, sequence number).
+func (e *event) before(o *event) bool {
+	if e.when != o.when {
+		return e.when < o.when
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
-}
+// initialHeapCap pre-grows a kernel's event queue so steady-state
+// scheduling never reallocates the backing array.
+const initialHeapCap = 4096
 
 // Kernel is a discrete-event simulator clock and event queue.
 // The zero value is ready to use at cycle 0.
 type Kernel struct {
-	pq   eventHeap
+	pq   []event
 	now  uint64
 	seq  uint64
 	nrun uint64
 }
 
-// New returns a kernel at cycle zero.
-func New() *Kernel { return &Kernel{} }
+// New returns a kernel at cycle zero with a pre-grown event queue.
+func New() *Kernel { return &Kernel{pq: make([]event, 0, initialHeapCap)} }
 
 // Now reports the current simulation cycle.
 func (k *Kernel) Now() uint64 { return k.now }
@@ -76,14 +85,84 @@ func (k *Kernel) Schedule(delay uint64, fn func()) {
 // At runs fn at the absolute cycle when. Scheduling in the past panics:
 // it is always a simulator bug.
 func (k *Kernel) At(when uint64, fn func()) {
-	if when < k.now {
-		panic(fmt.Sprintf("sim: scheduling at %d before now %d", when, k.now))
-	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	heap.Push(&k.pq, event{when: when, seq: k.seq, fn: fn})
+	k.push(event{when: when, fn: fn})
+}
+
+// ScheduleActor runs a.Act(data, arg) delay cycles from now. It is the
+// allocation-free counterpart of Schedule: no closure is created.
+func (k *Kernel) ScheduleActor(delay uint64, a Actor, data any, arg uint64) {
+	k.AtActor(k.now+delay, a, data, arg)
+}
+
+// AtActor runs a.Act(data, arg) at the absolute cycle when.
+func (k *Kernel) AtActor(when uint64, a Actor, data any, arg uint64) {
+	if a == nil {
+		panic("sim: nil event actor")
+	}
+	k.push(event{when: when, actor: a, data: data, arg: arg})
+}
+
+// push inserts an event, assigning its sequence number, and sifts it up.
+func (k *Kernel) push(e event) {
+	if e.when < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", e.when, k.now))
+	}
+	e.seq = k.seq
 	k.seq++
+	h := append(k.pq, e)
+	k.pq = h
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h[i].before(&h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// pop removes and returns the earliest event, zeroing the vacated slot so
+// the popped closure (and anything it captures) stays collectable.
+func (k *Kernel) pop() event {
+	h := k.pq
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	k.pq = h
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h[r].before(&h[c]) {
+			c = r
+		}
+		if !h[c].before(&h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return top
+}
+
+// stepOne pops and fires the earliest event, advancing the clock to its
+// time. The caller must ensure the queue is non-empty. It is the single
+// shared pop-loop body of Step, Run, and RunUntil.
+func (k *Kernel) stepOne() {
+	e := k.pop()
+	k.now = e.when
+	k.nrun++
+	if e.fn != nil {
+		e.fn()
+		return
+	}
+	e.actor.Act(e.data, e.arg)
 }
 
 // Step fires the single earliest pending event and advances the clock to
@@ -92,10 +171,7 @@ func (k *Kernel) Step() bool {
 	if len(k.pq) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.pq).(event)
-	k.now = e.when
-	k.nrun++
-	e.fn()
+	k.stepOne()
 	return true
 }
 
@@ -108,10 +184,7 @@ func (k *Kernel) Run(limit uint64) error {
 			k.now = limit
 			return ErrLimit
 		}
-		e := heap.Pop(&k.pq).(event)
-		k.now = e.when
-		k.nrun++
-		e.fn()
+		k.stepOne()
 	}
 	return nil
 }
@@ -128,10 +201,7 @@ func (k *Kernel) RunUntil(limit uint64, cond func() bool) error {
 			k.now = limit
 			return ErrLimit
 		}
-		e := heap.Pop(&k.pq).(event)
-		k.now = e.when
-		k.nrun++
-		e.fn()
+		k.stepOne()
 		if cond() {
 			return nil
 		}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/memtypes"
 )
@@ -98,6 +99,25 @@ func (w *Writer) Emit(e Event) {
 		return
 	}
 	fmt.Fprintln(w.W, e)
+}
+
+// Locked wraps a sink with a mutex so several simulations can emit into
+// it concurrently (parallel experiment sweeps). The underlying sink sees
+// a serialized event stream; relative ordering across concurrent
+// simulations is unspecified.
+type Locked struct {
+	mu sync.Mutex
+	s  Sink
+}
+
+// NewLocked returns a concurrency-safe view of s.
+func NewLocked(s Sink) *Locked { return &Locked{s: s} }
+
+// Emit implements Sink.
+func (l *Locked) Emit(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.Emit(e)
 }
 
 // Multi fans events out to several sinks.

@@ -160,11 +160,14 @@ func (b *Bank) handleGetLine(msg *memtypes.Message) {
 	b.withLine(msg.Addr, func(release func()) {
 		lat := b.data.Access(msg.Addr, true, reqSyncKind(msg.Req))
 		b.k.Schedule(lat, func() {
-			b.mesh.Send(&memtypes.Message{
+			data := b.mesh.NewMessage()
+			*data = memtypes.Message{
 				Src: b.id, Dst: msg.Src, Kind: MsgDataLine,
 				Class: memtypes.ClassLineData, Addr: msg.Addr,
 				Core: msg.Core, LineData: b.store.LoadLine(msg.Addr),
-			})
+			}
+			b.mesh.Free(msg)
+			b.mesh.Send(data)
 			release()
 		})
 	})
@@ -191,10 +194,13 @@ func (b *Bank) handleWTLine(msg *memtypes.Message) {
 		}
 		lat := b.data.Access(msg.Addr, true, 0)
 		b.k.Schedule(lat, func() {
-			b.mesh.Send(&memtypes.Message{
+			ack := b.mesh.NewMessage()
+			*ack = memtypes.Message{
 				Src: b.id, Dst: msg.Src, Kind: MsgWTAck,
 				Class: memtypes.ClassControl, Addr: msg.Addr, Core: msg.Core,
-			})
+			}
+			b.mesh.Free(msg)
+			b.mesh.Send(ack)
 			release()
 		})
 	})
@@ -426,22 +432,30 @@ func (b *Bank) answerEviction(ev *core.Eviction) {
 	b.wake(ev.Waiters, ev.Addr, b.store.Load(ev.Addr), true)
 }
 
-// respond sends a racy-op completion carrying a data word.
+// respond sends a racy-op completion carrying a data word and recycles
+// the request message: it is the terminal step of the operation.
 func (b *Bank) respond(msg *memtypes.Message, value uint64, stale bool) {
-	b.mesh.Send(&memtypes.Message{
+	resp := b.mesh.NewMessage()
+	*resp = memtypes.Message{
 		Src: b.id, Dst: msg.Src, Kind: MsgRacyResp,
 		Class: memtypes.ClassWordData, Addr: msg.Req.Addr,
 		Core: msg.Core, Value: value, Stale: stale, Req: msg.Req,
-	})
+	}
+	b.mesh.Free(msg)
+	b.mesh.Send(resp)
 }
 
-// ack sends a store completion (control message).
+// ack sends a store completion (control message) and recycles the
+// request message.
 func (b *Bank) ack(msg *memtypes.Message) {
-	b.mesh.Send(&memtypes.Message{
+	resp := b.mesh.NewMessage()
+	*resp = memtypes.Message{
 		Src: b.id, Dst: msg.Src, Kind: MsgRacyResp,
 		Class: memtypes.ClassControl, Addr: msg.Req.Addr,
 		Core: msg.Core, Value: msg.Req.Value, Req: msg.Req,
-	})
+	}
+	b.mesh.Free(msg)
+	b.mesh.Send(resp)
 }
 
 // Parked reports how many operations are currently blocked in the bank's

@@ -117,11 +117,13 @@ func (l *L1) accessDRF() {
 		return
 	}
 	l.stats.Misses++
-	l.mesh.Send(&memtypes.Message{
+	msg := l.mesh.NewMessage()
+	*msg = memtypes.Message{
 		Src: l.id, Dst: l.bankOf(req.Addr), Kind: MsgGetLine,
 		Class: memtypes.ClassControl, Addr: req.Addr.Line(),
 		Core: l.id, Req: req,
-	})
+	}
+	l.mesh.Send(msg)
 }
 
 // finishDRF applies the pending DRF op to a resident line and responds.
@@ -153,6 +155,7 @@ func (l *L1) handleDataLine(msg *memtypes.Message) {
 	}
 	line.Data = msg.LineData
 	line.State.private = l.pending.req.Private
+	l.mesh.Free(msg)
 	l.finishDRF(line, mem.DefaultL1Latency)
 }
 
@@ -173,7 +176,8 @@ func (l *L1) evictFor(addr memtypes.Addr) {
 // writeThrough sends a line's dirty words to its bank and clears the
 // dirty bits.
 func (l *L1) writeThrough(line *cache.Line[l1Line]) {
-	msg := &memtypes.Message{
+	msg := l.mesh.NewMessage()
+	*msg = memtypes.Message{
 		Src: l.id, Dst: l.bankOf(line.Addr), Kind: MsgWTLine,
 		Class: memtypes.ClassWordData, Addr: line.Addr, Core: l.id,
 	}
@@ -229,10 +233,11 @@ func (l *L1) completeFence() {
 	l.respond(mem.DefaultL1Latency, memtypes.Response{})
 }
 
-func (l *L1) handleWTAck(*memtypes.Message) {
+func (l *L1) handleWTAck(msg *memtypes.Message) {
 	if l.wtOutstanding == 0 {
 		panic(fmt.Sprintf("vips: core %d spurious write-through ack", l.id))
 	}
+	l.mesh.Free(msg)
 	l.wtOutstanding--
 	if l.wtOutstanding == 0 && l.pending != nil && l.pending.fence {
 		l.completeFence()
@@ -249,10 +254,12 @@ func (l *L1) issueRacy() {
 	case memtypes.OpWriteThrough, memtypes.OpWriteCB1, memtypes.OpWriteCB0, memtypes.OpRMW:
 		class = memtypes.ClassWordData
 	}
-	l.mesh.Send(&memtypes.Message{
+	msg := l.mesh.NewMessage()
+	*msg = memtypes.Message{
 		Src: l.id, Dst: l.bankOf(req.Addr), Kind: MsgRacy,
 		Class: class, Addr: req.Addr, Core: l.id, Req: req,
-	})
+	}
+	l.mesh.Send(msg)
 }
 
 // handleRacyResp completes the outstanding racy operation.
@@ -277,7 +284,9 @@ func (l *L1) handleRacyResp(msg *memtypes.Message) {
 			line.Data[w] = msg.Value
 		}
 	}
-	l.respond(0, memtypes.Response{Value: msg.Value, Stale: msg.Stale})
+	resp := memtypes.Response{Value: msg.Value, Stale: msg.Stale}
+	l.mesh.Free(msg)
+	l.respond(0, resp)
 }
 
 // Deliver routes bank-to-L1 messages.
