@@ -11,14 +11,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sort"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 
 	"repro/internal/experiments"
 	"repro/internal/isa"
+	"repro/internal/machine"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -34,10 +39,23 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, p := range workload.Profiles() {
+		ps := workload.Profiles()
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].Suite != ps[j].Suite {
+				return ps[i].Suite < ps[j].Suite
+			}
+			return ps[i].Name < ps[j].Name
+		})
+		for _, p := range ps {
 			fmt.Printf("%-14s (%s)\n", p.Name, p.Suite)
 		}
 		return
+	}
+	// Validate the core count before any construction: a bad value would
+	// otherwise only surface as a deep machine-build panic.
+	if err := machine.ValidateCores(*cores); err != nil {
+		fmt.Fprintln(os.Stderr, "cbsim:", err)
+		os.Exit(1)
 	}
 	if err := run(*bench, *setupName, *cores, *style, *entries, *traceN); err != nil {
 		fmt.Fprintln(os.Stderr, "cbsim:", err)
@@ -62,8 +80,11 @@ func run(bench, setupName string, cores int, style string, entries, traceN int) 
 	default:
 		return fmt.Errorf("unknown style %q", style)
 	}
+	// ^C / SIGTERM aborts the simulation cleanly between kernel events.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
 	var ring *trace.Ring
-	opts := experiments.Options{Cores: cores, CBEntries: entries}
+	opts := experiments.Options{Cores: cores, CBEntries: entries, Context: ctx}
 	if traceN > 0 {
 		ring = trace.NewRing(traceN)
 		opts.Trace = ring

@@ -1,0 +1,103 @@
+// Command cbsimd is the simulation-as-a-service daemon: an HTTP/JSON
+// front end over the deterministic sweep runner. Clients submit
+// simulation jobs (single benchmark x setup cells or whole sweeps),
+// watch per-cell progress as an NDJSON stream, and fetch the final
+// statistics as JSON. Identical cells are served from a
+// content-addressed LRU result cache instead of being re-simulated.
+//
+// Usage:
+//
+//	cbsimd [-addr :8347] [-workers N] [-queue N] [-cache-mb N]
+//	       [-parallel N] [-job-timeout D] [-drain-timeout D] [-salt S]
+//
+// API:
+//
+//	POST   /v1/jobs             submit a job (JSON body; 429 when the queue is full)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/events stream progress (NDJSON)
+//	GET    /v1/jobs/{id}/result final per-cell stats + energy (JSON)
+//	GET    /metrics             queue/worker/cache/simulation counters
+//	GET    /healthz             liveness + draining flag
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: running cells finish,
+// queued jobs fail with a retryable status, and the process exits 0
+// within the drain timeout.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent jobs")
+	queue := flag.Int("queue", 64, "queued-job bound (submissions beyond it get 429)")
+	cacheMB := flag.Int64("cache-mb", 256, "result cache size in MiB")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max worker goroutines per job's cells")
+	jobTimeout := flag.Duration("job-timeout", 30*time.Minute, "per-job deadline, queue wait included (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "graceful-drain budget on SIGTERM")
+	salt := flag.String("salt", service.DefaultVersionSalt, "cache version salt (bump to invalidate cached results)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "cbsimd: ", log.LstdFlags|log.Lmsgprefix)
+	svc := service.New(service.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		CacheBytes:  *cacheMB << 20,
+		Parallelism: *parallel,
+		JobTimeout:  *jobTimeout,
+		VersionSalt: *salt,
+		Logf:        logger.Printf,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// WriteTimeout stays 0: /v1/jobs/{id}/events streams for the
+		// lifetime of a job.
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (%d workers, queue %d, cache %d MiB)",
+			*addr, *workers, *queue, *cacheMB)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received; draining (budget %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := svc.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		logger.Printf("drain timed out; in-flight jobs were canceled: %v", drainErr)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}

@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -41,7 +44,12 @@ func main() {
 		}
 	}
 
-	o := experiments.Options{Cores: *cores, Parallelism: *parallel}
+	// ^C / SIGTERM aborts in-flight simulations cleanly between kernel
+	// events instead of leaving a sweep half-printed.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	o := experiments.Options{Cores: *cores, Parallelism: *parallel, Context: ctx}
 	if *benchList != "" {
 		o.Benchmarks = strings.Split(*benchList, ",")
 	}

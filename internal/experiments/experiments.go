@@ -5,10 +5,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/energy"
 	"repro/internal/machine"
@@ -66,8 +69,33 @@ func SetupByName(name string) (Setup, error) {
 	return Setup{}, fmt.Errorf("experiments: unknown setup %q", name)
 }
 
+// RunEvent reports one simulation (one benchmark x setup cell) starting
+// or finishing — the progress hook sweeps and the cbsimd daemon stream
+// to clients.
+type RunEvent struct {
+	Benchmark string
+	Setup     string
+	// Done distinguishes the completion event (true) from the start
+	// event (false). Cycles, Wall, and Err are only set on completion.
+	Done bool
+	// Cycles is the simulated parallel-section execution time.
+	Cycles uint64
+	// Wall is the wall-clock time the simulation took — together with
+	// Cycles it gives the simulated-vs-wall rate exported by the daemon.
+	Wall time.Duration
+	Err  error
+}
+
 // Options controls run scale.
 type Options struct {
+	// Context, when non-nil, cancels runs cooperatively: the machine
+	// polls it between kernel events and sweeps check it before starting
+	// each cell. A canceled run returns ctx.Err().
+	Context context.Context
+	// Progress, when set, receives a RunEvent as each simulation starts
+	// and finishes. Sweeps invoke it from worker goroutines (serialized,
+	// like Logf).
+	Progress func(RunEvent)
 	// Cores is the simulated core count (default 64, Table 2; smaller
 	// values speed up exploratory runs).
 	Cores int
@@ -128,8 +156,8 @@ func (o Options) fill() Options {
 		o.Logf = func(string, ...any) {}
 	}
 	if o.Parallelism > 1 && !o.safe {
-		// Cells run concurrently but share the log and trace sinks:
-		// serialize the fan-in so sweeps are race-free.
+		// Cells run concurrently but share the log, progress, and trace
+		// sinks: serialize the fan-in so sweeps are race-free.
 		var mu sync.Mutex
 		logf := o.Logf
 		o.Logf = func(format string, args ...any) {
@@ -137,12 +165,30 @@ func (o Options) fill() Options {
 			defer mu.Unlock()
 			logf(format, args...)
 		}
+		if o.Progress != nil {
+			var pmu sync.Mutex
+			progress := o.Progress
+			o.Progress = func(e RunEvent) {
+				pmu.Lock()
+				defer pmu.Unlock()
+				progress(e)
+			}
+		}
 		if o.Trace != nil {
 			o.Trace = trace.NewLocked(o.Trace)
 		}
 		o.safe = true
 	}
 	return o
+}
+
+// ctxErr reports the options context's cancellation error, or nil when
+// no context is set or it is still live.
+func (o Options) ctxErr() error {
+	if o.Context == nil {
+		return nil
+	}
+	return o.Context.Err()
 }
 
 // forEach runs fn(0) .. fn(n-1) across up to o.Parallelism worker
@@ -157,6 +203,9 @@ func (o Options) forEach(n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := o.ctxErr(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -176,6 +225,12 @@ func (o Options) forEach(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
+				// A canceled context skips the remaining cells but
+				// still records a deterministic per-index error.
+				if err := o.ctxErr(); err != nil {
+					errs[i] = err
+					continue
+				}
 				errs[i] = fn(i)
 			}
 		}()
@@ -187,6 +242,17 @@ func (o Options) forEach(n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// Sweep runs fn(0) .. fn(n-1) over the options' bounded worker pool —
+// the same engine RunSuite and the figure runners use, exported so other
+// subsystems (the cbsimd daemon) can layer per-cell work such as cache
+// lookups and progress streaming over it. Every index runs exactly once;
+// the returned error is the one from the lowest failing index regardless
+// of scheduling. When o.Context is canceled, remaining cells are skipped
+// and Sweep returns ctx.Err().
+func Sweep(o Options, n int, fn func(i int) error) error {
+	return o.fill().forEach(n, fn)
 }
 
 // Result is the outcome of one benchmark x setup run.
@@ -211,7 +277,9 @@ func buildMachine(s Setup, o Options) *machine.Machine {
 }
 
 // runGenerated loads and runs a generated workload, returning stats and
-// energy.
+// energy. The options context cancels the simulation between kernel
+// events; cancellation is returned as a bare ctx.Err() so callers can
+// errors.Is it directly.
 func runGenerated(g *workload.Generated, s Setup, o Options) (Result, error) {
 	m := buildMachine(s, o)
 	if o.Trace != nil {
@@ -223,8 +291,21 @@ func runGenerated(g *workload.Generated, s Setup, o Options) (Result, error) {
 	for tid, prog := range g.Programs {
 		m.Load(tid, prog, nil)
 	}
-	if err := m.Run(o.Limit); err != nil {
-		return Result{}, fmt.Errorf("%s under %s: %w", g.Profile.Name, s.Name, err)
+	if o.Progress != nil {
+		o.Progress(RunEvent{Benchmark: g.Profile.Name, Setup: s.Name})
+	}
+	start := time.Now()
+	err := m.RunContext(o.Context, o.Limit)
+	wall := time.Since(start)
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("%s under %s: %w", g.Profile.Name, s.Name, err)
+	}
+	if o.Progress != nil {
+		o.Progress(RunEvent{Benchmark: g.Profile.Name, Setup: s.Name,
+			Done: true, Cycles: m.K.Now(), Wall: wall, Err: err})
+	}
+	if err != nil {
+		return Result{}, err
 	}
 	st := m.Stats()
 	e := energy.Compute(energy.Counts{

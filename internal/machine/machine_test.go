@@ -1,8 +1,12 @@
 package machine
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -213,5 +217,91 @@ func TestSyncLatencyZeroEntries(t *testing.T) {
 	var s Stats
 	if s.SyncLatency(isa.SyncAcquire) != 0 {
 		t.Fatal("no entries should give zero latency")
+	}
+}
+
+func TestValidateCores(t *testing.T) {
+	for _, n := range []int{1, 4, 9, 16, 25, 36, 49, 64} {
+		if err := ValidateCores(n); err != nil {
+			t.Errorf("ValidateCores(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{-1, 0, 2, 7, 63, 65, 81, 100} {
+		err := ValidateCores(n)
+		if err == nil {
+			t.Errorf("ValidateCores(%d) = nil, want error", n)
+			continue
+		}
+		if !strings.Contains(err.Error(), fmt.Sprint(n)) {
+			t.Errorf("ValidateCores(%d) error %q does not name the value", n, err)
+		}
+	}
+	// New panics (with the same message) rather than building a broken
+	// machine.
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("New with 7 cores did not panic")
+		} else if !strings.Contains(fmt.Sprint(r), "perfect square") {
+			t.Errorf("panic %q does not explain the mesh constraint", r)
+		}
+	}()
+	cfg := Default(ProtocolMESI)
+	cfg.Cores = 7
+	New(cfg, nil)
+}
+
+// TestRunContextCancel pins cooperative cancellation: a canceled context
+// stops the simulation between kernel events and is returned verbatim.
+func TestRunContextCancel(t *testing.T) {
+	build := func() *Machine {
+		cfg := Default(ProtocolMESI)
+		cfg.Cores = 4
+		m := New(cfg, nil)
+		// Core 1 spins forever on a flag nobody ever sets: without a
+		// context the run only ends at the cycle limit.
+		flag := memtypes.Addr(0x1000)
+		rb := isa.NewBuilder()
+		rb.Imm(isa.R1, uint64(flag))
+		rb.Label("spin")
+		rb.LdThrough(isa.R2, isa.R1, 0)
+		rb.Beqz(isa.R2, "spin")
+		rb.Done()
+		m.Load(1, rb.MustBuild(), nil)
+		return m
+	}
+
+	// Pre-canceled: returns immediately with ctx.Err().
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := build().RunContext(ctx, 1_000_000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled RunContext = %v, want context.Canceled", err)
+	}
+
+	// Cancel mid-run from another goroutine: the run must stop well
+	// before the cycle limit, and the machine stays inspectable.
+	ctx, cancel = context.WithCancel(context.Background())
+	m := build()
+	done := make(chan error, 1)
+	go func() { done <- m.RunContext(ctx, 0) }() // no limit: only the context can stop it
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunContext did not observe cancellation")
+	}
+	if m.Stats().Cycles != 0 && m.K.Now() == 0 {
+		t.Fatal("canceled machine left inconsistent")
+	}
+	if m.Diagnose() == "" {
+		t.Fatal("Diagnose empty after cancellation")
+	}
+
+	// A nil context behaves exactly like Run: the limit error fires.
+	if err := build().RunContext(nil, 10_000); err == nil {
+		t.Fatal("nil-context RunContext ignored the cycle limit")
 	}
 }

@@ -9,6 +9,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // GeoMean returns the geometric mean of xs, ignoring non-positive values
@@ -178,6 +180,47 @@ func formatVal(v float64) string {
 	default:
 		return fmt.Sprintf("%.3f", v)
 	}
+}
+
+// SimRate accumulates the simulated-vs-wall-time ratio across simulation
+// cells: how many simulated cycles each wall-clock second buys. It is
+// safe for concurrent use (sweep workers and the cbsimd daemon observe
+// cells from many goroutines).
+type SimRate struct {
+	mu     sync.Mutex
+	cells  uint64
+	cycles uint64
+	wall   time.Duration
+}
+
+// Observe records one completed cell: its simulated cycle count and the
+// wall-clock time the simulation took.
+func (r *SimRate) Observe(cycles uint64, wall time.Duration) {
+	r.mu.Lock()
+	r.cells++
+	r.cycles += cycles
+	r.wall += wall
+	r.mu.Unlock()
+}
+
+// Snapshot returns the totals so far: cells observed, simulated cycles,
+// and wall-clock time.
+func (r *SimRate) Snapshot() (cells, cycles uint64, wall time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cells, r.cycles, r.wall
+}
+
+// CyclesPerSecond returns the aggregate simulation rate in simulated
+// cycles per wall-clock second, or 0 before any wall time has been
+// observed.
+func (r *SimRate) CyclesPerSecond() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wall <= 0 {
+		return 0
+	}
+	return float64(r.cycles) / r.wall.Seconds()
 }
 
 // SortedKeys returns map keys in sorted order (stable iteration for

@@ -4,8 +4,10 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestGeoMean(t *testing.T) {
@@ -112,5 +114,40 @@ func TestCSV(t *testing.T) {
 	want := "name,\"a,b\",c\n\"r,1\",1.5,2\n"
 	if got != want {
 		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestSimRate(t *testing.T) {
+	var r SimRate
+	if r.CyclesPerSecond() != 0 {
+		t.Fatal("empty SimRate should report 0 cycles/s")
+	}
+	r.Observe(1_000_000, 500*time.Millisecond)
+	r.Observe(1_000_000, 500*time.Millisecond)
+	cells, cycles, wall := r.Snapshot()
+	if cells != 2 || cycles != 2_000_000 || wall != time.Second {
+		t.Fatalf("snapshot = %d cells, %d cycles, %v wall", cells, cycles, wall)
+	}
+	if got := r.CyclesPerSecond(); math.Abs(got-2_000_000) > 1e-6 {
+		t.Fatalf("CyclesPerSecond = %v, want 2e6", got)
+	}
+}
+
+func TestSimRateConcurrent(t *testing.T) {
+	var r SimRate
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Observe(10, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	cells, cycles, wall := r.Snapshot()
+	if cells != 800 || cycles != 8000 || wall != 800*time.Microsecond {
+		t.Fatalf("snapshot = %d cells, %d cycles, %v wall", cells, cycles, wall)
 	}
 }

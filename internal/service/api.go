@@ -1,0 +1,266 @@
+// Package service is the simulation-as-a-service layer: an HTTP/JSON
+// daemon (cmd/cbsimd) that queues simulation jobs, fans their
+// (benchmark x setup) cells over a bounded worker pool layered on
+// experiments.Options.Parallelism, streams per-cell progress as NDJSON,
+// and serves results from a content-addressed LRU cache keyed by a
+// canonical hash of the full cell configuration. Because every
+// simulation is deterministic (see EXPERIMENTS.md), cached and freshly
+// simulated cells are byte-identical.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// DefaultVersionSalt tags cache keys with the simulator generation.
+// Bump it whenever a change makes old cached results stale (protocol
+// fixes, timing model changes): the salt is hashed into every cell key,
+// so bumping it invalidates the whole cache at once.
+const DefaultVersionSalt = "cbsim/v2"
+
+// DefaultLimitCycles is the per-cell simulation cycle budget, matching
+// experiments.Options.Limit's default.
+const DefaultLimitCycles = 200_000_000
+
+// JobRequest is the body of POST /v1/jobs. A single cell names one
+// benchmark and one setup; a sweep lists several of either (or leaves
+// them empty, meaning all 19 benchmarks / all 7 standard setups). The
+// job's cells are the cross product benchmarks x setups.
+type JobRequest struct {
+	// Benchmark / Setup submit a single cell (shorthand for one-element
+	// lists; may be combined with the list fields).
+	Benchmark string `json:"benchmark,omitempty"`
+	Setup     string `json:"setup,omitempty"`
+	// Benchmarks / Setups submit a sweep. Empty means "all".
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Setups     []string `json:"setups,omitempty"`
+	// Cores is the simulated core count (perfect square <= 64,
+	// default 64).
+	Cores int `json:"cores,omitempty"`
+	// Style is the synchronization style: "scalable" (CLH + TreeSR,
+	// default) or "naive" (T&T&S + SR).
+	Style string `json:"style,omitempty"`
+	// Entries sizes the callback directories (default 4).
+	Entries int `json:"entries,omitempty"`
+	// LimitCycles is the per-cell simulation cycle budget
+	// (default 200M).
+	LimitCycles uint64 `json:"limit_cycles,omitempty"`
+	// Parallelism bounds the worker goroutines this job's cells may use
+	// (clamped to the server's limit; default: the server's limit).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// CellSpec is one fully-normalized (benchmark x setup) simulation cell:
+// every field is explicit, defaults filled in and style lower-cased, so
+// equivalent requests produce identical specs — the property the
+// content-addressed cache key relies on.
+type CellSpec struct {
+	Benchmark string `json:"benchmark"`
+	Setup     string `json:"setup"`
+	Cores     int    `json:"cores"`
+	Style     string `json:"style"`
+	Entries   int    `json:"entries"`
+	Limit     uint64 `json:"limit"`
+}
+
+// Key returns the content address of this cell's result: a hex SHA-256
+// over the version salt and the canonical JSON encoding of the spec.
+// Two equivalent job specs (defaults elided vs. spelled out, style case
+// differences) hash identically; changing the salt changes every key.
+func (c CellSpec) Key(salt string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n", salt)
+	// encoding/json serializes struct fields in declaration order, so
+	// the encoding is canonical for a normalized spec.
+	if err := json.NewEncoder(h).Encode(c); err != nil {
+		panic(fmt.Sprintf("service: hashing CellSpec: %v", err)) // cannot fail: fixed struct
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SyncStyle maps the spec's style string to the workload enum. The spec
+// must be normalized (via Cells).
+func (c CellSpec) SyncStyle() workload.SyncStyle {
+	if c.Style == "naive" {
+		return workload.StyleNaive
+	}
+	return workload.StyleScalable
+}
+
+// Cells validates and normalizes a request into its cell cross product.
+// All errors are user errors (HTTP 400).
+func (r JobRequest) Cells() ([]CellSpec, error) {
+	benchmarks, err := r.benchmarkNames()
+	if err != nil {
+		return nil, err
+	}
+	setups, err := r.setupNames()
+	if err != nil {
+		return nil, err
+	}
+	cores := r.Cores
+	if cores == 0 {
+		cores = 64
+	}
+	if err := machine.ValidateCores(cores); err != nil {
+		return nil, err
+	}
+	style := strings.ToLower(strings.TrimSpace(r.Style))
+	switch style {
+	case "":
+		style = "scalable"
+	case "scalable", "naive":
+	default:
+		return nil, fmt.Errorf("unknown style %q (want scalable or naive)", r.Style)
+	}
+	entries := r.Entries
+	if entries == 0 {
+		entries = 4
+	}
+	if entries < 0 {
+		return nil, fmt.Errorf("entries must be positive (got %d)", entries)
+	}
+	limit := r.LimitCycles
+	if limit == 0 {
+		limit = DefaultLimitCycles
+	}
+	cells := make([]CellSpec, 0, len(benchmarks)*len(setups))
+	for _, b := range benchmarks {
+		for _, s := range setups {
+			cells = append(cells, CellSpec{
+				Benchmark: b, Setup: s,
+				Cores: cores, Style: style, Entries: entries, Limit: limit,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// benchmarkNames resolves the requested benchmark set (deduplicated, in
+// request order; empty request means all profiles).
+func (r JobRequest) benchmarkNames() ([]string, error) {
+	names := r.Benchmarks
+	if r.Benchmark != "" {
+		names = append([]string{r.Benchmark}, names...)
+	}
+	if len(names) == 0 {
+		var all []string
+		for _, p := range workload.Profiles() {
+			all = append(all, p.Name)
+		}
+		return all, nil
+	}
+	seen := make(map[string]bool, len(names))
+	var out []string
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if _, err := workload.ByName(n); err != nil {
+			return nil, err
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// setupNames resolves the requested setup set (deduplicated, in request
+// order; empty request means all standard setups).
+func (r JobRequest) setupNames() ([]string, error) {
+	names := r.Setups
+	if r.Setup != "" {
+		names = append([]string{r.Setup}, names...)
+	}
+	if len(names) == 0 {
+		var all []string
+		for _, s := range experiments.StandardSetups() {
+			all = append(all, s.Name)
+		}
+		return all, nil
+	}
+	seen := make(map[string]bool, len(names))
+	var out []string
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if _, err := experiments.SetupByName(n); err != nil {
+			return nil, err
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCanceled  = "canceled"
+	StateRetryable = "retryable" // failed by drain/shutdown: safe to resubmit
+)
+
+// JobStatus is the client-visible state of a job (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Cells     int    `json:"cells"`
+	CellsDone int    `json:"cells_done"`
+	CacheHits int    `json:"cache_hits"`
+	Error     string `json:"error,omitempty"`
+	// Retryable marks jobs that failed without running (queue drained on
+	// shutdown): resubmitting the identical request is safe and will
+	// reuse any cells that did complete via the cache.
+	Retryable bool `json:"retryable,omitempty"`
+}
+
+// Event is one NDJSON line of GET /v1/jobs/{id}/events.
+type Event struct {
+	Type      string  `json:"type"` // job_queued|job_started|cell_start|cell_done|job_done|job_failed|job_canceled|job_retryable
+	Job       string  `json:"job"`
+	Cell      int     `json:"cell,omitempty"`  // 1-based cell index
+	Cells     int     `json:"cells,omitempty"` // total cells in the job
+	Benchmark string  `json:"benchmark,omitempty"`
+	Setup     string  `json:"setup,omitempty"`
+	Cached    bool    `json:"cached,omitempty"`
+	Cycles    uint64  `json:"cycles,omitempty"`  // simulated cycles (cell_done)
+	WallMS    float64 `json:"wall_ms,omitempty"` // wall-clock simulation time (cell_done)
+	Error     string  `json:"error,omitempty"`
+}
+
+// cellPayload is what the cache stores and the result endpoint serves
+// per cell. It deliberately excludes anything run-dependent (wall time,
+// cache state) so cached and fresh cells are byte-identical.
+type cellPayload struct {
+	Spec   CellSpec         `json:"spec"`
+	Stats  machine.Stats    `json:"stats"`
+	Energy energy.Breakdown `json:"energy"`
+}
+
+// CellResult is one cell of a job result. Data is the cached/serialized
+// cellPayload ({"spec":…,"stats":…,"energy":…}); Cached and WallMS
+// describe how this particular job obtained it.
+type CellResult struct {
+	Cached bool            `json:"cached"`
+	WallMS float64         `json:"wall_ms,omitempty"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// JobResult is the body of GET /v1/jobs/{id}/result.
+type JobResult struct {
+	ID    string       `json:"id"`
+	Cells []CellResult `json:"cells"`
+}

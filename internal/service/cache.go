@@ -1,0 +1,119 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a content-addressed, byte-bounded LRU result cache. Keys are
+// canonical cell-configuration hashes (CellSpec.Key), values are the
+// marshaled cell payloads served back to clients. Because every
+// simulation is fully deterministic, a hit is byte-identical to what a
+// fresh run would produce, so the cache is a pure cost saver: repeated
+// or overlapping sweeps skip re-simulation entirely.
+type Cache struct {
+	mu        sync.Mutex
+	maxBytes  int64
+	bytes     int64
+	ll        *list.List               // front = most recently used
+	items     map[string]*list.Element // key -> element holding *centry
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type centry struct {
+	key     string
+	payload []byte
+}
+
+// NewCache returns a cache bounded to maxBytes of payload+key bytes.
+// A non-positive bound disables caching (every Get misses).
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the payload stored under key and marks it most recently
+// used. The returned bytes are shared and must not be modified.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*centry).payload, true
+}
+
+// Put stores payload under key, evicting least-recently-used entries
+// until the byte bound holds again. A payload that alone exceeds the
+// bound is not cached. Storing an existing key refreshes its payload
+// and recency.
+func (c *Cache) Put(key string, payload []byte) {
+	size := int64(len(key) + len(payload))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.maxBytes {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*centry)
+		c.bytes += int64(len(payload) - len(e.payload))
+		e.payload = payload
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&centry{key: key, payload: payload})
+		c.bytes += size
+	}
+	for c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*centry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.key) + len(e.payload))
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.items),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCellKeyCanonicalization pins the content-address property the
+// cache relies on: equivalent job specs (defaults elided vs. spelled
+// out, style spelled with different case) normalize to identical cells
+// and hash to identical keys.
+func TestCellKeyCanonicalization(t *testing.T) {
+	shorthand := JobRequest{Benchmark: "radiosity", Setup: "CB-One"}
+	explicit := JobRequest{
+		Benchmarks:  []string{"radiosity"},
+		Setups:      []string{"CB-One"},
+		Cores:       64,
+		Style:       "SCALABLE",
+		Entries:     4,
+		LimitCycles: DefaultLimitCycles,
+	}
+	a, err := shorthand.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := explicit.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("cells = %d/%d, want 1/1", len(a), len(b))
+	}
+	if a[0] != b[0] {
+		t.Fatalf("normalized cells differ:\n  %+v\n  %+v", a[0], b[0])
+	}
+	if ka, kb := a[0].Key("salt"), b[0].Key("salt"); ka != kb {
+		t.Fatalf("equivalent specs hash differently: %s vs %s", ka, kb)
+	}
+}
+
+// TestCellKeySaltAndFields pins that the version salt and every spec
+// field perturb the key.
+func TestCellKeySaltAndFields(t *testing.T) {
+	base := CellSpec{Benchmark: "radiosity", Setup: "CB-One", Cores: 64,
+		Style: "scalable", Entries: 4, Limit: DefaultLimitCycles}
+	k := base.Key(DefaultVersionSalt)
+	if k2 := base.Key("cbsim/v3"); k2 == k {
+		t.Fatal("version salt does not change the key")
+	}
+	variants := []CellSpec{}
+	for _, mutate := range []func(*CellSpec){
+		func(c *CellSpec) { c.Benchmark = "ocean" },
+		func(c *CellSpec) { c.Setup = "Invalidation" },
+		func(c *CellSpec) { c.Cores = 16 },
+		func(c *CellSpec) { c.Style = "naive" },
+		func(c *CellSpec) { c.Entries = 16 },
+		func(c *CellSpec) { c.Limit = 1000 },
+	} {
+		c := base
+		mutate(&c)
+		variants = append(variants, c)
+	}
+	seen := map[string]CellSpec{k: base}
+	for _, c := range variants {
+		kc := c.Key(DefaultVersionSalt)
+		if prev, dup := seen[kc]; dup {
+			t.Fatalf("specs %+v and %+v collide on %s", prev, c, kc)
+		}
+		seen[kc] = c
+	}
+}
+
+func TestCellsValidation(t *testing.T) {
+	cases := []JobRequest{
+		{Benchmark: "no-such-benchmark"},
+		{Benchmark: "radiosity", Setup: "no-such-setup"},
+		{Benchmark: "radiosity", Cores: 7},  // not a perfect square
+		{Benchmark: "radiosity", Cores: 81}, // > 64
+		{Benchmark: "radiosity", Style: "aggressive"},
+		{Benchmark: "radiosity", Entries: -1},
+	}
+	for _, req := range cases {
+		if _, err := req.Cells(); err == nil {
+			t.Errorf("request %+v: expected validation error", req)
+		}
+	}
+	// The empty request is the full suite sweep: 19 benchmarks x 7 setups.
+	cells, err := JobRequest{}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 19*7 {
+		t.Fatalf("empty request = %d cells, want %d", len(cells), 19*7)
+	}
+	// Duplicates collapse.
+	cells, err = JobRequest{Benchmark: "ocean", Benchmarks: []string{"ocean"}, Setup: "CB-One"}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("duplicate benchmark yields %d cells, want 1", len(cells))
+	}
+}
+
+func TestCacheLRUByteBound(t *testing.T) {
+	// Keys are 2 bytes, payloads 8: each entry is 10 bytes. A 30-byte
+	// cache holds exactly 3 entries.
+	c := NewCache(30)
+	pay := func(i int) []byte { return []byte(fmt.Sprintf("payload%d", i%10)) }
+	key := func(i int) string { return fmt.Sprintf("k%d", i%10) }
+	for i := 0; i < 4; i++ {
+		c.Put(key(i), pay(i))
+	}
+	if _, ok := c.Get(key(0)); ok {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	for i := 1; i < 4; i++ {
+		got, ok := c.Get(key(i))
+		if !ok || string(got) != string(pay(i)) {
+			t.Fatalf("entry %d missing or wrong: %q", i, got)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Bytes != 30 {
+		t.Fatalf("stats = %+v, want 3 entries / 30 bytes", st)
+	}
+	if st.Evictions != 1 || st.Misses != 1 || st.Hits != 3 {
+		t.Fatalf("counters = %+v, want 1 eviction, 1 miss, 3 hits", st)
+	}
+
+	// Recency: touching k1 makes k2 the eviction victim.
+	c.Get(key(1))
+	c.Put(key(5), pay(5))
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("LRU entry survived")
+	}
+
+	// An oversized payload is not cached and evicts nothing.
+	before := c.Stats()
+	c.Put("huge", make([]byte, 64))
+	after := c.Stats()
+	if after.Entries != before.Entries || after.Evictions != before.Evictions {
+		t.Fatalf("oversized put changed the cache: %+v -> %+v", before, after)
+	}
+
+	// Refreshing an existing key updates bytes, not entry count.
+	c.Put(key(5), []byte("xy"))
+	st = c.Stats()
+	if got, _ := c.Get(key(5)); string(got) != "xy" {
+		t.Fatalf("refresh lost: %q", got)
+	}
+	if st.Entries != 3 {
+		t.Fatalf("refresh changed entry count: %+v", st)
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c := NewCache(1 << 10)
+	if r := c.Stats().HitRate(); r != 0 {
+		t.Fatalf("empty cache hit rate = %v", r)
+	}
+	c.Put("a", []byte("x"))
+	c.Get("a")
+	c.Get("b")
+	if r := c.Stats().HitRate(); r != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", r)
+	}
+}

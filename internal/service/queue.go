@@ -1,0 +1,141 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// job is the server-side state of one submitted job: its normalized
+// cells, per-job cancellation context, accumulated events (an append-only
+// log replayed to every /events streamer), and per-cell results.
+type job struct {
+	id    string
+	cells []CellSpec
+	par   int // cell parallelism inside this job
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     string
+	err       string
+	retryable bool
+	cellsDone int
+	cacheHits int
+	events    []Event
+	notify    chan struct{} // closed and replaced on every append
+	results   []CellResult  // indexed by cell, filled as cells complete
+}
+
+func newJob(id string, cells []CellSpec, par int, ctx context.Context, cancel context.CancelFunc) *job {
+	j := &job{
+		id: id, cells: cells, par: par,
+		ctx: ctx, cancel: cancel,
+		state:   StateQueued,
+		notify:  make(chan struct{}),
+		results: make([]CellResult, len(cells)),
+	}
+	j.emit(Event{Type: "job_queued", Job: id, Cells: len(cells)})
+	return j
+}
+
+// emit appends an event and wakes every streamer. Callers must not hold
+// j.mu.
+func (j *job) emit(e Event) {
+	j.mu.Lock()
+	j.appendLocked(e)
+	j.mu.Unlock()
+}
+
+func (j *job) appendLocked(e Event) {
+	j.events = append(j.events, e)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// start transitions the job to running.
+func (j *job) start() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.appendLocked(Event{Type: "job_started", Job: j.id, Cells: len(j.cells)})
+	j.mu.Unlock()
+}
+
+// finish records the terminal state (one of done/failed/canceled/
+// retryable) with its matching final event, exactly once.
+func (j *job) finish(state, errMsg string) {
+	j.mu.Lock()
+	if terminalState(j.state) {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.err = errMsg
+	j.retryable = state == StateRetryable
+	j.appendLocked(Event{Type: "job_" + state, Job: j.id, Cells: len(j.cells), Error: errMsg})
+	j.mu.Unlock()
+	j.cancel() // release the job context (and its timeout timer)
+}
+
+func terminalState(s string) bool {
+	switch s {
+	case StateDone, StateFailed, StateCanceled, StateRetryable:
+		return true
+	}
+	return false
+}
+
+// cellDone records one completed cell's result and progress event.
+func (j *job) cellDone(i int, res CellResult, e Event) {
+	j.mu.Lock()
+	j.results[i] = res
+	j.cellsDone++
+	if res.Cached {
+		j.cacheHits++
+	}
+	j.appendLocked(e)
+	j.mu.Unlock()
+}
+
+// status snapshots the client-visible state.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Cells:     len(j.cells),
+		CellsDone: j.cellsDone,
+		CacheHits: j.cacheHits,
+		Error:     j.err,
+		Retryable: j.retryable,
+	}
+}
+
+// result returns the job's full result once it is done.
+func (j *job) result() (JobResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return JobResult{}, false
+	}
+	cells := make([]CellResult, len(j.results))
+	copy(cells, j.results)
+	return JobResult{ID: j.id, Cells: cells}, true
+}
+
+// eventsSince returns the events appended at or after index i, whether
+// the job has reached a terminal state, and — when there is nothing new
+// yet — a channel that closes on the next append. When terminal is true
+// the returned slice completes the log: no further events will follow.
+func (j *job) eventsSince(i int) (evs []Event, terminal bool, wake <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	terminal = terminalState(j.state)
+	if i < len(j.events) {
+		evs = make([]Event, len(j.events)-i)
+		copy(evs, j.events[i:])
+		return evs, terminal, nil
+	}
+	return nil, terminal, j.notify
+}

@@ -1,0 +1,495 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the number of concurrent jobs (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs;
+	// submissions beyond it are rejected with 429 (default 64).
+	QueueDepth int
+	// CacheBytes bounds the result cache (default 256 MiB).
+	CacheBytes int64
+	// Parallelism caps the worker goroutines any single job's cells may
+	// fan over (default GOMAXPROCS). The daemon's total simulation
+	// concurrency is bounded by Workers x Parallelism.
+	Parallelism int
+	// JobTimeout is the end-to-end deadline per job, queue wait
+	// included (0 = none).
+	JobTimeout time.Duration
+	// VersionSalt is hashed into every cache key
+	// (default DefaultVersionSalt).
+	VersionSalt string
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) fill() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.VersionSalt == "" {
+		c.VersionSalt = DefaultVersionSalt
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the simulation daemon: a bounded job queue drained by a
+// worker pool, a content-addressed result cache, and the HTTP/JSON API
+// in front of them. Create with New, serve Handler(), stop with Drain.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	mux   *http.ServeMux
+
+	jobsCh   chan *job
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	busy     atomic.Int64
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for listing
+	nextID atomic.Uint64
+
+	simRate        metrics.SimRate
+	cellsSimulated atomic.Uint64
+	cellsCached    atomic.Uint64
+	jobsSubmitted  atomic.Uint64
+	jobsRejected   atomic.Uint64
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.fill()
+	s := &Server{
+		cfg:    cfg,
+		cache:  NewCache(cfg.CacheBytes),
+		jobsCh: make(chan *job, cfg.QueueDepth),
+		quit:   make(chan struct{}),
+		jobs:   make(map[string]*job),
+	}
+	s.routes()
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+}
+
+// ---------------------------------------------------------------- workers
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.jobsCh:
+			s.busy.Add(1)
+			s.runJob(j)
+			s.busy.Add(-1)
+		}
+	}
+}
+
+// errDraining aborts a job's remaining cells during graceful drain:
+// in-flight cells complete, queued cells never start.
+var errDraining = errors.New("service: draining")
+
+// runJob executes one job: each cell is either served from the
+// content-addressed cache or simulated, with progress events streamed as
+// it goes. Cells fan over the job's Parallelism via experiments.Sweep.
+func (s *Server) runJob(j *job) {
+	if s.draining.Load() {
+		j.finish(StateRetryable, "server draining: job never started")
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		j.finish(StateCanceled, err.Error())
+		return
+	}
+	j.start()
+	s.cfg.Logf("job %s started: %d cells", j.id, len(j.cells))
+	n := len(j.cells)
+	o := experiments.Options{Parallelism: j.par, Context: j.ctx}
+	err := experiments.Sweep(o, n, func(i int) error {
+		if s.draining.Load() {
+			return errDraining
+		}
+		return s.runCell(j, i)
+	})
+	switch {
+	case err == nil:
+		j.finish(StateDone, "")
+	case errors.Is(err, errDraining):
+		j.finish(StateRetryable, fmt.Sprintf("server draining: %d/%d cells completed", j.status().CellsDone, n))
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		j.finish(StateCanceled, err.Error())
+	default:
+		j.finish(StateFailed, err.Error())
+	}
+	st := j.status()
+	s.cfg.Logf("job %s %s: %d/%d cells, %d cache hits", j.id, st.State, st.CellsDone, st.Cells, st.CacheHits)
+}
+
+// runCell resolves one cell: cache hit or fresh simulation.
+func (s *Server) runCell(j *job, i int) error {
+	c := j.cells[i]
+	key := c.Key(s.cfg.VersionSalt)
+	if data, ok := s.cache.Get(key); ok {
+		s.cellsCached.Add(1)
+		j.cellDone(i, CellResult{Cached: true, Data: data}, Event{
+			Type: "cell_done", Job: j.id, Cell: i + 1, Cells: len(j.cells),
+			Benchmark: c.Benchmark, Setup: c.Setup, Cached: true,
+		})
+		return nil
+	}
+	p, err := workload.ByName(c.Benchmark)
+	if err != nil {
+		return err // unreachable: validated at submit
+	}
+	setup, err := experiments.SetupByName(c.Setup)
+	if err != nil {
+		return err // unreachable: validated at submit
+	}
+	var wall time.Duration
+	co := experiments.Options{
+		Cores:       c.Cores,
+		CBEntries:   c.Entries,
+		Limit:       c.Limit,
+		Parallelism: 1, // a cell is a single simulation
+		Context:     j.ctx,
+		Progress: func(e experiments.RunEvent) {
+			if !e.Done {
+				j.emit(Event{
+					Type: "cell_start", Job: j.id, Cell: i + 1, Cells: len(j.cells),
+					Benchmark: c.Benchmark, Setup: c.Setup,
+				})
+				return
+			}
+			wall = e.Wall
+		},
+	}
+	res, err := experiments.RunBenchmark(p, setup, c.SyncStyle(), co)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(cellPayload{Spec: c, Stats: res.Stats, Energy: res.Energy})
+	if err != nil {
+		return fmt.Errorf("marshaling result for %s/%s: %w", c.Benchmark, c.Setup, err)
+	}
+	s.cache.Put(key, data)
+	s.cellsSimulated.Add(1)
+	s.simRate.Observe(res.Stats.Cycles, wall)
+	j.cellDone(i, CellResult{WallMS: wallMS(wall), Data: data}, Event{
+		Type: "cell_done", Job: j.id, Cell: i + 1, Cells: len(j.cells),
+		Benchmark: c.Benchmark, Setup: c.Setup,
+		Cycles: res.Stats.Cycles, WallMS: wallMS(wall),
+	})
+	return nil
+}
+
+func wallMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// --------------------------------------------------------------- draining
+
+// Drain gracefully stops the server: new submissions are rejected,
+// queued jobs fail with a retryable status, and running jobs stop after
+// their in-flight cells complete. If ctx expires first, the remaining
+// jobs are hard-canceled (the simulator aborts between kernel events)
+// and Drain returns ctx.Err().
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.quit)
+	}
+	// Fail everything still queued. Workers racing us to the channel
+	// observe the draining flag and fail the job the same way.
+	for {
+		select {
+		case j := <-s.jobsCh:
+			j.finish(StateRetryable, "server draining: job never started")
+			continue
+		default:
+		}
+		break
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Soft drain timed out: cancel in-flight jobs and wait for the
+	// workers to notice (bounded by the simulator's context poll
+	// interval, microseconds of simulation).
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.cancel()
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// Draining reports whether Drain has been initiated.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// -------------------------------------------------------------- handlers
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error     string `json:"error"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server draining", Retryable: true})
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	cells, err := req.Cells()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	par := req.Parallelism
+	if par <= 0 || par > s.cfg.Parallelism {
+		par = s.cfg.Parallelism
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
+	j := newJob(id, cells, par, ctx, cancel)
+
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	select {
+	case s.jobsCh <- j:
+	default:
+		// Queue full: reject with backpressure and forget the job.
+		s.mu.Lock()
+		delete(s.jobs, id)
+		for k, v := range s.order {
+			if v == id {
+				s.order = append(s.order[:k], s.order[k+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		cancel()
+		s.jobsRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: "job queue full", Retryable: true})
+		return
+	}
+	s.jobsSubmitted.Add(1)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// jobFor resolves the path's job ID, writing a 404 if unknown.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("unknown job %q", id)})
+	}
+	return j
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	statuses := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		statuses = append(statuses, s.jobs[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFor(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	res, ok := j.result()
+	if !ok {
+		writeJSON(w, http.StatusConflict, j.status())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleEvents streams the job's event log as NDJSON: everything so far
+// immediately, then live events until the job reaches a terminal state
+// or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	idx := 0
+	for {
+		evs, terminal, wake := j.eventsSince(idx)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		idx += len(evs)
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if len(evs) == 0 && terminal {
+			return
+		}
+		if wake == nil {
+			continue // more events arrived while writing; loop again
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": s.draining.Load()})
+}
+
+// handleMetrics exports the daemon's operational counters in a
+// Prometheus-style text format: queue depth, worker utilization, cache
+// hit rate, and the aggregate simulated-vs-wall-clock rate.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	byState := make(map[string]int)
+	for _, j := range s.jobs {
+		byState[j.status().State]++
+	}
+	s.mu.Unlock()
+	cs := s.cache.Stats()
+	cells, cycles, wall := s.simRate.Snapshot()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "cbsimd_queue_depth %d\n", len(s.jobsCh))
+	fmt.Fprintf(w, "cbsimd_queue_capacity %d\n", cap(s.jobsCh))
+	fmt.Fprintf(w, "cbsimd_workers %d\n", s.cfg.Workers)
+	fmt.Fprintf(w, "cbsimd_workers_busy %d\n", s.busy.Load())
+	fmt.Fprintf(w, "cbsimd_draining %d\n", boolInt(s.draining.Load()))
+	fmt.Fprintf(w, "cbsimd_jobs_submitted_total %d\n", s.jobsSubmitted.Load())
+	fmt.Fprintf(w, "cbsimd_jobs_rejected_total %d\n", s.jobsRejected.Load())
+	for _, st := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateRetryable} {
+		fmt.Fprintf(w, "cbsimd_jobs{state=%q} %d\n", st, byState[st])
+	}
+	fmt.Fprintf(w, "cbsimd_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "cbsimd_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "cbsimd_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "cbsimd_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "cbsimd_cache_bytes %d\n", cs.Bytes)
+	fmt.Fprintf(w, "cbsimd_cache_capacity_bytes %d\n", cs.MaxBytes)
+	fmt.Fprintf(w, "cbsimd_cache_hit_rate %g\n", cs.HitRate())
+	fmt.Fprintf(w, "cbsimd_cells_simulated_total %d\n", s.cellsSimulated.Load())
+	fmt.Fprintf(w, "cbsimd_cells_cached_total %d\n", s.cellsCached.Load())
+	fmt.Fprintf(w, "cbsimd_sim_cells_observed_total %d\n", cells)
+	fmt.Fprintf(w, "cbsimd_sim_cycles_total %d\n", cycles)
+	fmt.Fprintf(w, "cbsimd_sim_wall_seconds_total %g\n", wall.Seconds())
+	fmt.Fprintf(w, "cbsimd_sim_cycles_per_wall_second %g\n", s.simRate.CyclesPerSecond())
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
