@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench ci figures
+.PHONY: all build test vet race bench bench-snapshot ci figures
 
 all: build
 
@@ -22,9 +22,14 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# ci is the full gate: vet, build, race-enabled tests, and a single-shot
-# benchmark pass.
-ci: vet build race bench
+# bench-snapshot writes a machine-readable perf record (hot-path ns/op
+# and allocs/op, simulated-cycles-per-second) for CI to archive per PR.
+bench-snapshot:
+	$(GO) run ./cmd/benchsnap -o BENCH_pr.json
+
+# ci is the full gate: vet, build, race-enabled tests, a single-shot
+# benchmark pass, and the archived perf snapshot.
+ci: vet build race bench bench-snapshot
 
 # figures regenerates every table of the paper at full 64-core scale.
 figures:

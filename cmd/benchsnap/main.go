@@ -1,0 +1,160 @@
+// Command benchsnap captures a machine-readable performance snapshot of
+// the simulator: hot-path ns/op and allocs/op via the testing package's
+// programmatic benchmark driver, plus the aggregate simulated-cycles-
+// per-wall-second rate from a small reference sweep (the same
+// metrics.SimRate estimator the daemon exports at /metrics).
+//
+// Usage:
+//
+//	benchsnap [-o BENCH_pr.json] [-cores N] [-bench a,b,c]
+//
+// CI runs it via `make bench-snapshot` and uploads the JSON as an
+// artifact, giving every PR a comparable perf record without blocking
+// the gate on machine-speed-dependent thresholds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// snapshot is the BENCH_pr.json schema. Fields are stable: downstream
+// tooling diffs snapshots across PRs.
+type snapshot struct {
+	GeneratedUnix int64                `json:"generated_unix"`
+	GoVersion     string               `json:"go_version"`
+	GOOS          string               `json:"goos"`
+	GOARCH        string               `json:"goarch"`
+	NumCPU        int                  `json:"num_cpu"`
+	Benchmarks    map[string]benchPerf `json:"benchmarks"`
+	SimRate       simRate              `json:"sim_rate"`
+}
+
+type benchPerf struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type simRate struct {
+	Benchmarks      []string `json:"benchmarks"`
+	Setup           string   `json:"setup"`
+	Cores           int      `json:"cores"`
+	Cells           uint64   `json:"cells"`
+	SimulatedCycles uint64   `json:"simulated_cycles"`
+	WallSeconds     float64  `json:"wall_seconds"`
+	CyclesPerSecond float64  `json:"cycles_per_second"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pr.json", "output file")
+	cores := flag.Int("cores", 16, "simulated cores for the sim-rate sweep")
+	benchList := flag.String("bench", "radiosity,ocean,dedup", "benchmarks for the sim-rate sweep")
+	flag.Parse()
+
+	if err := run(*out, *cores, strings.Split(*benchList, ",")); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, cores int, benches []string) error {
+	snap := snapshot{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Benchmarks:    map[string]benchPerf{},
+	}
+
+	// Kernel hot path: one schedule + one step per iteration — the inner
+	// loop of every simulated cycle. Must stay 0 allocs/op.
+	snap.Benchmarks["kernel_hot_path"] = record(testing.Benchmark(func(b *testing.B) {
+		k := sim.New()
+		fn := func() {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.Schedule(1, fn)
+			k.Step()
+		}
+	}))
+
+	// Full Table 2 machine construction (64 tiles, caches, directories).
+	snap.Benchmarks["machine_new_64"] = record(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := machine.New(machine.Default(machine.ProtocolCallback), nil)
+			if m.Mesh.Nodes() != 64 {
+				b.Fatal("bad machine")
+			}
+		}
+	}))
+
+	// Sim rate: a reference sweep under CB-One, folded through the same
+	// SimRate estimator cbsimd exports as cbsimd_sim_cycles_per_wall_second.
+	setup, err := experiments.SetupByName("CB-One")
+	if err != nil {
+		return err
+	}
+	var rate metrics.SimRate
+	for _, name := range benches {
+		p, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := experiments.RunBenchmark(p, setup, workload.StyleScalable, experiments.Options{Cores: cores})
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rate.Observe(res.Stats.Cycles, time.Since(start))
+	}
+	cells, cycles, wall := rate.Snapshot()
+	snap.SimRate = simRate{
+		Benchmarks:      benches,
+		Setup:           setup.Name,
+		Cores:           cores,
+		Cells:           cells,
+		SimulatedCycles: cycles,
+		WallSeconds:     wall.Seconds(),
+		CyclesPerSecond: rate.CyclesPerSecond(),
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: wrote %s (kernel %.1f ns/op, %d allocs/op; sim %.3g cycles/s)\n",
+		out, snap.Benchmarks["kernel_hot_path"].NsPerOp,
+		snap.Benchmarks["kernel_hot_path"].AllocsPerOp,
+		snap.SimRate.CyclesPerSecond)
+	return nil
+}
+
+func record(r testing.BenchmarkResult) benchPerf {
+	return benchPerf{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}

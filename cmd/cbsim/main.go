@@ -4,6 +4,12 @@
 // Usage:
 //
 //	cbsim [-bench name] [-setup name] [-cores N] [-style scalable|naive] [-entries N]
+//	      [-trace N] [-trace-chrome out.json]
+//
+// -trace-chrome writes the whole run as Chrome trace-event JSON: open it
+// in chrome://tracing or https://ui.perfetto.dev to see per-tile
+// timelines of sync phases, critical sections, callback block/wake
+// episodes, and network messages on a shared cycle axis.
 //
 // Example:
 //
@@ -35,6 +41,7 @@ func main() {
 	style := flag.String("style", "scalable", "synchronization style: scalable (CLH+TreeSR) or naive (T&T&S+SR)")
 	entries := flag.Int("entries", 4, "callback directory entries per bank")
 	traceN := flag.Int("trace", 0, "print the last N protocol/network trace events")
+	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace-event JSON file (view in chrome://tracing or Perfetto)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -57,13 +64,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cbsim:", err)
 		os.Exit(1)
 	}
-	if err := run(*bench, *setupName, *cores, *style, *entries, *traceN); err != nil {
+	if err := run(*bench, *setupName, *cores, *style, *entries, *traceN, *traceChrome); err != nil {
 		fmt.Fprintln(os.Stderr, "cbsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, setupName string, cores int, style string, entries, traceN int) error {
+func run(bench, setupName string, cores int, style string, entries, traceN int, chromePath string) error {
 	p, err := workload.ByName(bench)
 	if err != nil {
 		return err
@@ -85,13 +92,41 @@ func run(bench, setupName string, cores int, style string, entries, traceN int) 
 	defer stop()
 	var ring *trace.Ring
 	opts := experiments.Options{Cores: cores, CBEntries: entries, Context: ctx}
+	var sinks trace.Multi
 	if traceN > 0 {
 		ring = trace.NewRing(traceN)
-		opts.Trace = ring
+		sinks = append(sinks, ring)
+	}
+	var cw *trace.ChromeWriter
+	var chromeFile *os.File
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		chromeFile = f
+		cw = trace.NewChromeWriter(f)
+		sinks = append(sinks, cw)
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		opts.Trace = sinks[0]
+	default:
+		opts.Trace = sinks
 	}
 	res, err := experiments.RunBenchmark(p, setup, st, opts)
 	if err != nil {
 		return err
+	}
+	if cw != nil {
+		if err := cw.Close(); err != nil {
+			return fmt.Errorf("finalizing %s: %w", chromePath, err)
+		}
+		if err := chromeFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", chromePath)
 	}
 	if ring != nil {
 		fmt.Fprintf(os.Stderr, "--- last %d trace events (%s) ---\n", ring.Len(), trace.Summarize(ring.Events()))

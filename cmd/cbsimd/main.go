@@ -9,6 +9,7 @@
 //
 //	cbsimd [-addr :8347] [-workers N] [-queue N] [-cache-mb N]
 //	       [-parallel N] [-job-timeout D] [-drain-timeout D] [-salt S]
+//	       [-pprof]
 //
 // API:
 //
@@ -18,8 +19,10 @@
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/events stream progress (NDJSON)
 //	GET    /v1/jobs/{id}/result final per-cell stats + energy (JSON)
-//	GET    /metrics             queue/worker/cache/simulation counters
+//	GET    /v1/jobs/{id}/trace  Chrome trace JSON (jobs submitted with trace=true)
+//	GET    /metrics             Prometheus text: queue/worker/cache gauges + simulator histograms
 //	GET    /healthz             liveness + draining flag
+//	GET    /debug/pprof/        Go profiling endpoints (only with -pprof)
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: running cells finish,
 // queued jobs fail with a retryable status, and the process exits 0
@@ -31,6 +34,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -49,6 +53,7 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 30*time.Minute, "per-job deadline, queue wait included (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "graceful-drain budget on SIGTERM")
 	salt := flag.String("salt", service.DefaultVersionSalt, "cache version salt (bump to invalidate cached results)")
+	pprofOn := flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "cbsimd: ", log.LstdFlags|log.Lmsgprefix)
@@ -62,9 +67,24 @@ func main() {
 		Logf:        logger.Printf,
 	})
 
+	handler := svc.Handler()
+	if *pprofOn {
+		// Mount the API alongside explicit pprof routes (avoiding the
+		// DefaultServeMux so nothing else registered there leaks in).
+		mux := http.NewServeMux()
+		mux.Handle("/", svc.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logger.Printf("pprof enabled at /debug/pprof/")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,

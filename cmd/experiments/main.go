@@ -3,6 +3,7 @@
 // Usage:
 //
 //	experiments [-fig all|1|20|21|22|23|sens|headline] [-cores N] [-parallel N] [-v] [-bench a,b,c]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With the defaults (64 cores, all 19 benchmarks) the full run takes
 // several minutes; use -cores 16 and/or -bench for quick looks. Sweeps
@@ -18,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -35,6 +37,8 @@ func main() {
 	verbose := flag.Bool("v", false, "log each simulation run")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 19)")
 	csv := flag.String("csv", "", "directory to also write each table as CSV")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 	csvDir = *csv
 	if csvDir != "" {
@@ -42,6 +46,34 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
 	}
 
 	// ^C / SIGTERM aborts in-flight simulations cleanly between kernel

@@ -199,6 +199,18 @@ func (d *Directory) Stats() Stats { return d.stats }
 // Entries returns the capacity (for tests).
 func (d *Directory) Entries() int { return len(d.entries) }
 
+// Live returns the number of valid entries currently held — the
+// directory occupancy sampled by the observability layer.
+func (d *Directory) Live() int {
+	n := 0
+	for i := range d.entries {
+		if d.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
 func (d *Directory) find(addr memtypes.Addr) *entry {
 	w := d.tag(addr)
 	for i := range d.entries {

@@ -80,6 +80,12 @@ type Core struct {
 	done         bool
 	onDone       func(*Core)
 
+	// observer, when set, receives synchronization-phase and spin-wait
+	// events for tracing: "sync.begin"/"sync.end" (note = kind name, arg =
+	// episode cycles on end) and "spin.wait" (arg = wait cycles). The hook
+	// is observational only — it must not change timing.
+	observer func(cycle uint64, what, note string, arg uint64)
+
 	stats Stats
 }
 
@@ -125,6 +131,12 @@ func (c *Core) CurrentInstr() *isa.Instr {
 // SetReg presets a register before Start (program arguments: thread ID,
 // structure base addresses...).
 func (c *Core) SetReg(r isa.Reg, v uint64) { c.regs[r] = v }
+
+// SetObserver installs a tracing hook for sync phases and spin waits
+// (nil disables).
+func (c *Core) SetObserver(fn func(cycle uint64, what, note string, arg uint64)) {
+	c.observer = fn
+}
 
 // Run assigns prog and schedules the core to begin at the given delay.
 func (c *Core) Run(prog *isa.Program, delay uint64) {
@@ -216,10 +228,14 @@ func (c *Core) step() {
 			elapsed += cycles
 			c.pc++
 		case isa.SyncBegin:
+			kind := isa.SyncKind(in.ImmVal)
 			c.syncStack = append(c.syncStack, syncFrame{
-				kind:  isa.SyncKind(in.ImmVal),
+				kind:  kind,
 				start: c.k.Now() + elapsed,
 			})
+			if c.observer != nil {
+				c.observer(c.k.Now()+elapsed, "sync.begin", kind.String(), 0)
+			}
 			c.pc++
 		case isa.SyncEnd:
 			if len(c.syncStack) == 0 {
@@ -233,6 +249,10 @@ func (c *Core) step() {
 			}
 			c.stats.SyncCycles[top.kind] += c.k.Now() + elapsed - top.start
 			c.stats.SyncEntries[top.kind]++
+			if c.observer != nil {
+				c.observer(c.k.Now()+elapsed, "sync.end", top.kind.String(),
+					c.k.Now()+elapsed-top.start)
+			}
 			c.pc++
 		case isa.BackoffReset:
 			c.backoffCount = 0
@@ -241,6 +261,9 @@ func (c *Core) step() {
 			c.pc++
 			wait := c.backoffInterval()
 			c.stats.BackoffCycles += wait
+			if c.observer != nil {
+				c.observer(c.k.Now()+elapsed, "spin.wait", "", wait)
+			}
 			c.k.Schedule(elapsed+wait, c.step)
 			return
 		case isa.Done:

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/synclib"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -117,6 +118,11 @@ type Options struct {
 	// Trace, when set, receives network and callback-directory events
 	// from every run.
 	Trace trace.Sink
+	// Metrics, when set, accumulates observability histograms across
+	// runs: sync-episode latencies, spin waits, callback wake latencies,
+	// directory occupancy, and per-link NoC utilization. The histograms
+	// are atomic, so one SimMetrics may be shared by parallel sweeps.
+	Metrics *obs.SimMetrics
 
 	// safe records that Logf and Trace have already been wrapped for
 	// concurrent use, so repeated fill calls do not stack mutexes.
@@ -285,6 +291,11 @@ func runGenerated(g *workload.Generated, s Setup, o Options) (Result, error) {
 	if o.Trace != nil {
 		m.AttachTrace(o.Trace)
 	}
+	if o.Metrics != nil {
+		// The collector's block-matching state is per-run, so each run
+		// attaches a fresh one feeding the shared histograms.
+		m.AttachTrace(trace.NewMetricsCollector(o.Metrics))
+	}
 	for a, v := range g.Layout.Init {
 		m.Store.StoreWord(a, v)
 	}
@@ -306,6 +317,9 @@ func runGenerated(g *workload.Generated, s Setup, o Options) (Result, error) {
 	}
 	if err != nil {
 		return Result{}, err
+	}
+	if o.Metrics != nil {
+		m.ObserveMetrics(o.Metrics)
 	}
 	st := m.Stats()
 	e := energy.Compute(energy.Counts{

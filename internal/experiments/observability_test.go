@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestStatsByteIdenticalWithTracing pins the pay-for-what-you-use
+// contract of the observability layer: attaching a Chrome trace writer
+// and a metrics collector must not change a single simulated outcome.
+// The same cell is run bare and fully instrumented, and the Stats JSON
+// (the exact payload the daemon caches by content hash) must be
+// byte-identical.
+func TestStatsByteIdenticalWithTracing(t *testing.T) {
+	p, err := workload.ByName("dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := SetupByName("CB-All")
+
+	run := func(o Options) []byte {
+		r, err := RunBenchmark(p, s, workload.StyleScalable, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.Marshal(r.Stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+
+	bare := run(Options{Cores: 16})
+
+	var chrome bytes.Buffer
+	reg := obs.NewRegistry()
+	m := obs.NewSimMetrics(reg)
+	cw := trace.NewChromeWriter(&chrome)
+	traced := run(Options{Cores: 16, Trace: cw, Metrics: m})
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(bare, traced) {
+		t.Fatalf("Stats changed when tracing was attached:\nbare:   %s\ntraced: %s", bare, traced)
+	}
+	if !json.Valid(chrome.Bytes()) {
+		t.Fatal("Chrome trace is not valid JSON")
+	}
+	if m.Runs.Value() != 1 {
+		t.Fatalf("Runs = %d, want 1", m.Runs.Value())
+	}
+	if m.CBWakeLatency.Count() == 0 {
+		t.Error("no callback wake latencies observed under CB-All")
+	}
+	if m.Sync[2].Count()+m.Sync[1].Count() == 0 { // release/acquire
+		t.Error("no sync episodes observed")
+	}
+	if m.LinkUtil.Count() == 0 {
+		t.Error("no link utilization samples observed")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/memtypes"
 	"repro/internal/mesi"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vips"
@@ -108,6 +109,10 @@ type Machine struct {
 	mesiTiles []*mesi.Tile
 
 	classify func(memtypes.Addr) bool
+
+	// sinks receives the machine's trace-event stream; the component
+	// observers are installed once and fan out to every attached sink.
+	sinks trace.Multi
 
 	loaded   int
 	finished int
@@ -205,23 +210,60 @@ func New(cfg Config, classify func(memtypes.Addr) bool) *Machine {
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
-// AttachTrace streams network and callback-directory events into sink.
+// AttachTrace streams the machine's events into sink: network
+// send/deliver, callback-directory activity, core sync phases and spin
+// waits, and monitor arm/wake. It may be called several times — each
+// sink sees the full stream (e.g. a ring buffer for debugging plus a
+// Chrome trace writer plus a metrics collector).
 func (m *Machine) AttachTrace(sink trace.Sink) {
+	m.sinks = append(m.sinks, sink)
+	if len(m.sinks) > 1 {
+		return // observers already installed; they fan out via m.sinks
+	}
 	m.Mesh.SetObserver(func(cycle uint64, msg *memtypes.Message, what string) {
 		node := msg.Src
 		if what == "deliver" {
 			node = msg.Dst
 		}
-		sink.Emit(trace.Event{
+		m.sinks.Emit(trace.Event{
 			Cycle: cycle, Node: node, What: what, Addr: msg.Addr,
+			// Pack the route so consumers can pair send/deliver without
+			// parsing the note (X-Y routing is FIFO per route).
+			Arg:  uint64(msg.Src)<<32 | uint64(msg.Dst),
 			Note: fmt.Sprintf("kind=%#x %s %d->%d", uint16(msg.Kind), msg.Class, msg.Src, msg.Dst),
 		})
 	})
 	for _, t := range m.vipsTiles {
-		t.Bank.SetObserver(func(cycle uint64, core memtypes.NodeID, addr memtypes.Addr, what string) {
-			sink.Emit(trace.Event{Cycle: cycle, Node: core, What: what, Addr: addr})
+		t.Bank.SetObserver(func(cycle uint64, core memtypes.NodeID, addr memtypes.Addr, what string, arg uint64) {
+			m.sinks.Emit(trace.Event{Cycle: cycle, Node: core, What: what, Addr: addr, Arg: arg})
 		})
 	}
+	for _, t := range m.mesiTiles {
+		l1 := t.L1
+		id := l1.ID()
+		l1.SetMonitorObserver(func(cycle uint64, addr memtypes.Addr, what string) {
+			m.sinks.Emit(trace.Event{Cycle: cycle, Node: id, What: what, Addr: addr})
+		})
+	}
+	for _, c := range m.Cores {
+		id := c.ID()
+		c.SetObserver(func(cycle uint64, what, note string, arg uint64) {
+			m.sinks.Emit(trace.Event{Cycle: cycle, Node: id, What: what, Note: note, Arg: arg})
+		})
+	}
+}
+
+// ObserveMetrics folds a finished (or stopped) run's end-of-run samples
+// into sm: per-link NoC utilization over the cycles simulated, plus the
+// run counter. Event-level histograms (sync latency, spins, callback
+// wakes) are fed live by attaching a trace.MetricsCollector.
+func (m *Machine) ObserveMetrics(sm *obs.SimMetrics) {
+	if cycles := m.K.Now(); cycles > 0 {
+		m.Mesh.VisitLinkBusy(func(_ memtypes.NodeID, busy uint64) {
+			sm.LinkUtil.Observe(float64(busy) / float64(cycles))
+		})
+	}
+	sm.Runs.Inc()
 }
 
 // Load assigns a program to core n with initial register values, starting

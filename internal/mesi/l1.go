@@ -72,6 +72,10 @@ type L1 struct {
 	monitor        monitorState
 	monStats       MonitorStats
 
+	// monObserver, when set, receives "mon.arm" and "mon.wake" monitor
+	// events (tracing).
+	monObserver func(cycle uint64, addr memtypes.Addr, what string)
+
 	stats L1Stats
 }
 
@@ -85,6 +89,9 @@ func NewL1(k *sim.Kernel, id memtypes.NodeID, mesh *noc.Mesh, store *mem.Store, 
 
 // Stats returns the L1 counters.
 func (l *L1) Stats() L1Stats { return l.stats }
+
+// ID returns the tile's node ID.
+func (l *L1) ID() memtypes.NodeID { return l.id }
 
 // LineState reports the state of addr's line (tests). ok is false when
 // the line is not resident.

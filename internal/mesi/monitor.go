@@ -48,6 +48,18 @@ func (l *L1) EnableMonitor() { l.monitorEnabled = true }
 // MonitorStats returns the monitor counters.
 func (l *L1) MonitorStats() MonitorStats { return l.monStats }
 
+// SetMonitorObserver installs a tracing hook for monitor arm/wake events
+// (nil disables).
+func (l *L1) SetMonitorObserver(fn func(cycle uint64, addr memtypes.Addr, what string)) {
+	l.monObserver = fn
+}
+
+func (l *L1) monObserve(addr memtypes.Addr, what string) {
+	if l.monObserver != nil {
+		l.monObserver(l.k.Now(), addr, what)
+	}
+}
+
 // accessMonitored serves an OpReadCB under the monitor model: load the
 // line (normal MESI fill if needed), return the value — but if the line
 // is already resident and thus cannot have changed since the caller's
@@ -75,6 +87,7 @@ func (l *L1) accessMonitored(req *memtypes.Request, done func(memtypes.Response)
 	// invalidated (the writer's GetX), then re-read.
 	l.stats.Hits++
 	l.monStats.Arms++
+	l.monObserve(req.Addr.Line(), "mon.arm")
 	l.monitor = monitorState{
 		armed: true,
 		addr:  req.Addr.Line(),
@@ -98,6 +111,7 @@ func (l *L1) monitorInvalidated(addr memtypes.Addr) {
 	}
 	resume := l.monitor.resume
 	l.monitor = monitorState{}
+	l.monObserve(addr.Line(), "mon.wake")
 	// The wakeup costs one cycle of monitor logic before the reload.
 	l.k.Schedule(mem.DefaultL1Latency, resume)
 }

@@ -144,6 +144,13 @@ func (t *Table) String() string {
 }
 
 // CSV renders the table as comma-separated values with a header row.
+//
+// Values are written with %g (shortest exact representation), NOT the
+// rounded formatVal used by String: the console view rounds for
+// readability (e.g. 0.12345 prints as "0.123", 1234567 as "1.23e+06"),
+// while the CSV is a data export and keeps full float64 precision.
+// Diffing a CSV against the printed table will therefore show more
+// digits; that divergence is deliberate and pinned by TestCSVPrecision.
 func (t *Table) CSV() string {
 	var b strings.Builder
 	b.WriteString("name")

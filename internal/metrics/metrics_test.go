@@ -117,6 +117,35 @@ func TestCSV(t *testing.T) {
 	}
 }
 
+// TestCSVPrecision pins the deliberate divergence between the console
+// rendering (formatVal: rounded for readability) and the CSV export
+// (%g: full float64 precision). If either side changes format, this
+// test localizes which one.
+func TestCSVPrecision(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow("frac", 0.123456789) // console rounds to 3 decimals
+	tb.AddRow("big", 1234567.0)    // console switches to %.3g
+	tb.AddRow("mid", 123.456)      // console drops the fraction
+	tb.AddRow("exact", 0.5)        // identical both ways
+	wantCSV := "name,v\nfrac,0.123456789\nbig,1.234567e+06\nmid,123.456\nexact,0.5\n"
+	if got := tb.CSV(); got != wantCSV {
+		t.Fatalf("CSV = %q, want %q", got, wantCSV)
+	}
+	for _, c := range []struct {
+		v    float64
+		want string
+	}{
+		{0.123456789, "0.123"},
+		{1234567.0, "1.23e+06"},
+		{123.456, "123"},
+		{0.5, "0.500"},
+	} {
+		if got := formatVal(c.v); got != c.want {
+			t.Errorf("formatVal(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
 func TestSimRate(t *testing.T) {
 	var r SimRate
 	if r.CyclesPerSecond() != 0 {

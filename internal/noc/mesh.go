@@ -62,6 +62,9 @@ type Mesh struct {
 	// linkFree[node][dir] is the first cycle the outgoing link of node
 	// in direction dir is idle.
 	linkFree [][numDirs]uint64
+	// linkBusy[node][dir] accumulates the cycles the link spent
+	// serializing flits (for end-of-run utilization reporting).
+	linkBusy [][numDirs]uint64
 	stats    Stats
 
 	// pool recycles Messages: senders allocate with NewMessage and the
@@ -91,6 +94,7 @@ func New(k *sim.Kernel, width, height int) *Mesh {
 		localLat:  DefaultLocalLatency,
 		handlers:  make([]Handler, width*height),
 		linkFree:  make([][numDirs]uint64, width*height),
+		linkBusy:  make([][numDirs]uint64, width*height),
 	}
 }
 
@@ -122,7 +126,43 @@ func (m *Mesh) SetObserver(fn func(cycle uint64, msg *memtypes.Message, what str
 
 // ResetStats zeroes the traffic counters (used to scope measurement to a
 // parallel section).
-func (m *Mesh) ResetStats() { m.stats = Stats{} }
+func (m *Mesh) ResetStats() {
+	m.stats = Stats{}
+	for i := range m.linkBusy {
+		m.linkBusy[i] = [numDirs]uint64{}
+	}
+}
+
+// VisitLinkBusy calls fn once per physically present directional link
+// with the cycles that link spent serializing flits — including links
+// that stayed idle. Used for end-of-run utilization histograms (busy /
+// run cycles per link).
+func (m *Mesh) VisitLinkBusy(fn func(node memtypes.NodeID, busy uint64)) {
+	for n := range m.linkBusy {
+		x, y := m.coords(memtypes.NodeID(n))
+		for d := direction(0); d < numDirs; d++ {
+			switch d {
+			case dirEast:
+				if x == m.width-1 {
+					continue
+				}
+			case dirWest:
+				if x == 0 {
+					continue
+				}
+			case dirSouth:
+				if y == m.height-1 {
+					continue
+				}
+			case dirNorth:
+				if y == 0 {
+					continue
+				}
+			}
+			fn(memtypes.NodeID(n), m.linkBusy[n][d])
+		}
+	}
+}
 
 // NewMessage returns a zeroed message from the mesh's free list. Senders
 // fill it and pass it to Send; the node that finally consumes it returns
@@ -222,6 +262,7 @@ func (m *Mesh) hop(msg *memtypes.Message, at memtypes.NodeID) {
 	}
 	// The link is busy while the message's flits serialize onto it.
 	m.linkFree[at][dir] = depart + flits
+	m.linkBusy[at][dir] += flits
 	m.stats.FlitHops += flits
 	m.stats.Hops++
 

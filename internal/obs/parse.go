@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a series name, its label pairs,
+// and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is a parsed Prometheus text-format payload: samples grouped
+// by series name, plus the declared TYPE of each family.
+type Exposition struct {
+	Samples map[string][]Sample
+	Types   map[string]MetricType
+}
+
+// Has reports whether at least one sample of the named series exists.
+func (e *Exposition) Has(name string) bool { return len(e.Samples[name]) > 0 }
+
+// Value returns the single sample value of name, failing when the series
+// is absent or has several label sets.
+func (e *Exposition) Value(name string) (float64, error) {
+	ss := e.Samples[name]
+	if len(ss) != 1 {
+		return 0, fmt.Errorf("obs: series %q has %d samples, want 1", name, len(ss))
+	}
+	return ss[0].Value, nil
+}
+
+// ParseText parses the Prometheus text exposition format (the subset
+// WritePrometheus emits: HELP/TYPE comments and simple sample lines).
+// It exists so tests can assert on /metrics structurally instead of
+// grepping strings.
+func ParseText(r io.Reader) (*Exposition, error) {
+	e := &Exposition{
+		Samples: make(map[string][]Sample),
+		Types:   make(map[string]MetricType),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				e.Types[fields[2]] = MetricType(fields[3])
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		e.Samples[s.Name] = append(e.Samples[s.Name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return s, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		if err := parseLabels(rest[i+1:j], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+		s.Name = fields[0]
+		rest = fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	if s.Name == "" {
+		return s, fmt.Errorf("empty series name in %q", line)
+	}
+	return s, nil
+}
+
+func parseLabels(body string, into map[string]string) error {
+	body = strings.TrimSpace(body)
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label in %q", body)
+		}
+		key := strings.TrimSpace(body[:eq])
+		rest := strings.TrimSpace(body[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", body)
+		}
+		// Find the closing quote, honoring backslash escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value in %q", body)
+		}
+		into[key] = unescapeLabel(rest[1:end])
+		body = strings.TrimPrefix(strings.TrimSpace(rest[end+1:]), ",")
+		body = strings.TrimSpace(body)
+	}
+	return nil
+}
+
+// unescapeLabel reverses the exposition format's label escaping
+// (backslash, newline, and double quote).
+func unescapeLabel(v string) string {
+	if !strings.ContainsRune(v, '\\') {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] != '\\' || i+1 == len(v) {
+			b.WriteByte(v[i])
+			continue
+		}
+		i++
+		switch v[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case '\\', '"':
+			b.WriteByte(v[i])
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}

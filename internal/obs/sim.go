@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"repro/internal/isa"
+)
+
+// Default bucket shapes for simulator metrics.
+var (
+	// CycleBuckets covers sync/wake latencies from 1 cycle to ~4M cycles
+	// in powers of four.
+	CycleBuckets = ExpBuckets(1, 4, 12)
+	// OccupancyBuckets covers callback-directory occupancies (the paper's
+	// directories hold 4 entries per bank; ablations go higher).
+	OccupancyBuckets = LinearBuckets(0, 1, 9)
+	// UtilBuckets covers per-link utilization ratios in [0, 1].
+	UtilBuckets = []float64{0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1}
+)
+
+// SimMetrics is the simulator's shared metric set: latency and occupancy
+// histograms fed by the trace-event stream (see trace.NewMetricsCollector)
+// and end-of-run samples (machine.ObserveMetrics). One SimMetrics may be
+// shared by many concurrent simulations — every update is atomic.
+type SimMetrics struct {
+	// SpinWait is the distribution of individual back-off spin waits in
+	// cycles (the BackOff-N configurations' retry intervals).
+	SpinWait *Histogram
+	// CBWakeLatency is the distribution of callback-block-to-wake times
+	// in cycles (cb.block -> cb.wake/cb.stale), the paper's key latency.
+	CBWakeLatency *Histogram
+	// CBOccupancy is the distribution of live callback-directory entries
+	// per bank, sampled at every directory consultation.
+	CBOccupancy *Histogram
+	// LinkUtil is the distribution of per-link NoC utilization (busy
+	// cycles / run cycles) over all directional links, one sample per
+	// link per run.
+	LinkUtil *Histogram
+	// Sync holds one latency histogram per synchronization kind
+	// (acquire = lock hand-off, barrier = barrier epoch, ...), indexed by
+	// isa.SyncKind. The SyncNone slot is nil.
+	Sync [isa.NumSyncKinds]*Histogram
+	// Runs counts completed simulations observed into this metric set.
+	Runs *Counter
+}
+
+// NewSimMetrics registers the simulator metric set on r and returns the
+// handles. Registration is idempotent: calling it twice on the same
+// registry yields the same histograms.
+func NewSimMetrics(r *Registry) *SimMetrics {
+	m := &SimMetrics{
+		SpinWait: r.Histogram("sim_spin_wait_cycles",
+			"Back-off spin-wait interval per retry, in simulated cycles.", CycleBuckets),
+		CBWakeLatency: r.Histogram("sim_cb_wake_latency_cycles",
+			"Callback-directory block-to-wake latency (cb.block to cb.wake), in simulated cycles.", CycleBuckets),
+		CBOccupancy: r.Histogram("sim_cb_dir_occupancy_entries",
+			"Live callback-directory entries per bank, sampled at each consultation.", OccupancyBuckets),
+		LinkUtil: r.Histogram("sim_noc_link_utilization_ratio",
+			"Per-link NoC utilization (busy cycles / run cycles), one sample per directional link per run.", UtilBuckets),
+		Runs: r.Counter("sim_runs_total",
+			"Completed simulations observed into the simulator metrics."),
+	}
+	for k := isa.SyncAcquire; k < isa.NumSyncKinds; k++ {
+		m.Sync[k] = r.Histogram("sim_sync_latency_cycles",
+			"Synchronization episode latency by kind (acquire = lock hand-off, barrier = barrier epoch), in simulated cycles.",
+			CycleBuckets, L("kind", k.String()))
+	}
+	return m
+}
+
+// ObserveSync records one synchronization episode of the given kind.
+func (m *SimMetrics) ObserveSync(kind isa.SyncKind, cycles uint64) {
+	if h := m.Sync[kind%isa.NumSyncKinds]; h != nil {
+		h.Observe(float64(cycles))
+	}
+}

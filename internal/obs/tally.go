@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tally counts occurrences by string key, remembering first-seen order —
+// the shared primitive behind quick summaries (trace.Summarize) and
+// hand-rolled "count by kind" code paths.
+//
+// Tally is not safe for concurrent use; it is a single-goroutine
+// aggregation helper, unlike the registry's metrics.
+type Tally struct {
+	counts map[string]uint64
+	order  []string
+}
+
+// NewTally returns an empty tally.
+func NewTally() *Tally {
+	return &Tally{counts: make(map[string]uint64)}
+}
+
+// Add increments key by n.
+func (t *Tally) Add(key string, n uint64) {
+	if _, seen := t.counts[key]; !seen {
+		t.order = append(t.order, key)
+	}
+	t.counts[key] += n
+}
+
+// Inc increments key by one.
+func (t *Tally) Inc(key string) { t.Add(key, 1) }
+
+// Count returns key's count (0 if never added).
+func (t *Tally) Count(key string) uint64 { return t.counts[key] }
+
+// Keys returns the keys in first-seen order.
+func (t *Tally) Keys() []string { return append([]string(nil), t.order...) }
+
+// String renders "key=count" pairs in first-seen order, space-separated.
+func (t *Tally) String() string {
+	var b strings.Builder
+	for i, k := range t.order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, t.counts[k])
+	}
+	return b.String()
+}

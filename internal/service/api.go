@@ -57,6 +57,12 @@ type JobRequest struct {
 	// Parallelism bounds the worker goroutines this job's cells may use
 	// (clamped to the server's limit; default: the server's limit).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Trace requests a Chrome trace-event (catapult) capture of the
+	// simulation, retrievable at GET /v1/jobs/{id}/trace once the job is
+	// done. Only single-cell jobs may be traced, and a traced cell is
+	// always freshly simulated (never served from cache) so the trace
+	// matches the reported result.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // CellSpec is one fully-normalized (benchmark x setup) simulation cell:

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// scrape fetches and structurally parses /metrics.
+func scrape(t *testing.T, ts *httptest.Server) *obs.Exposition {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Fatalf("metrics Content-Type = %q", ct)
+	}
+	exp, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("parsing /metrics: %v", err)
+	}
+	return exp
+}
+
+// TestMetricsExposition is the acceptance-criteria test for the metrics
+// registry: GET /metrics must serve valid Prometheus text covering the
+// daemon's operational state (queue depth, worker utilization, cache hit
+// rate, simulation rate) and the per-run simulator histograms, all
+// parsed structurally rather than grepped.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Parallelism: 1})
+
+	// CB-All exercises the callback histograms; BackOff-10 exercises the
+	// spin-wait histogram (callback blocking replaces spinning, so a CB
+	// run alone never spins).
+	st, code := submit(t, ts, JobRequest{Benchmark: "dedup", Setups: []string{"CB-All", "BackOff-10"}, Cores: 16})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	waitState(t, ts, st.ID, StateDone)
+
+	exp := scrape(t, ts)
+
+	// Operational gauges and counters.
+	for _, name := range []string{
+		"cbsimd_queue_depth", "cbsimd_queue_capacity",
+		"cbsimd_workers", "cbsimd_workers_busy",
+		"cbsimd_cache_hit_rate", "cbsimd_sim_cycles_per_wall_second",
+	} {
+		if !exp.Has(name) {
+			t.Errorf("metrics missing %s", name)
+		}
+	}
+	if v, err := exp.Value("cbsimd_workers"); err != nil || v != 1 {
+		t.Errorf("cbsimd_workers = %v (err %v), want 1", v, err)
+	}
+	if v, err := exp.Value("cbsimd_cells_simulated_total"); err != nil || v != 2 {
+		t.Errorf("cbsimd_cells_simulated_total = %v (err %v), want 2", v, err)
+	}
+	if v, err := exp.Value("cbsimd_sim_cycles_per_wall_second"); err != nil || v <= 0 {
+		t.Errorf("cbsimd_sim_cycles_per_wall_second = %v (err %v), want > 0", v, err)
+	}
+
+	// Per-state job gauges carry labels.
+	doneJobs := 0.0
+	for _, s := range exp.Samples["cbsimd_jobs"] {
+		if s.Labels["state"] == StateDone {
+			doneJobs = s.Value
+		}
+	}
+	if doneJobs != 1 {
+		t.Errorf("cbsimd_jobs{state=done} = %v, want 1", doneJobs)
+	}
+
+	// Simulator histograms: every fresh cell feeds the shared
+	// obs.SimMetrics, so a CB setup must populate the sync, spin, and
+	// callback wake-latency families with full histogram series.
+	for _, h := range []string{
+		"sim_sync_latency_cycles",
+		"sim_spin_wait_cycles",
+		"sim_cb_wake_latency_cycles",
+	} {
+		if exp.Types[h] != obs.TypeHistogram {
+			t.Errorf("%s: TYPE = %v, want histogram", h, exp.Types[h])
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if !exp.Has(h + suffix) {
+				t.Errorf("metrics missing %s%s", h, suffix)
+			}
+		}
+		count := 0.0
+		for _, s := range exp.Samples[h+"_count"] {
+			count += s.Value
+		}
+		if count == 0 {
+			t.Errorf("%s_count = 0, want > 0 after a CB-All run", h)
+		}
+	}
+	if v, err := exp.Value("sim_runs_total"); err != nil || v != 2 {
+		t.Errorf("sim_runs_total = %v (err %v), want 2", v, err)
+	}
+}
+
+// TestTraceRoundTrip submits a traced single-cell job over HTTP and
+// fetches its Chrome trace, checking the full endpoint contract: 400 for
+// multi-cell traced jobs, 404 for untraced jobs, 409 before completion
+// is not practical to time reliably so it is covered implicitly by the
+// queued 404/poll path, and 200 with valid catapult JSON once done.
+func TestTraceRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Parallelism: 1})
+
+	// A traced sweep is a user error.
+	if _, code := submit(t, ts, JobRequest{Benchmarks: []string{"dedup", "barnes"}, Setup: "CB-All", Cores: 16, Trace: true}); code != http.StatusBadRequest {
+		t.Fatalf("traced multi-cell submit status = %d, want 400", code)
+	}
+
+	st, code := submit(t, ts, JobRequest{Benchmark: "dedup", Setup: "CB-All", Cores: 16, Trace: true})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	waitState(t, ts, st.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("trace Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("trace is not valid catapult JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"process_name", "thread_name", "msg"} {
+		if !names[want] {
+			t.Errorf("trace missing %q events", want)
+		}
+	}
+
+	// The traced run must still have primed the cache: an identical
+	// untraced job is a pure cache hit.
+	st2, _ := submit(t, ts, JobRequest{Benchmark: "dedup", Setup: "CB-All", Cores: 16})
+	waitState(t, ts, st2.ID, StateDone)
+	if got := getStatus(t, ts, st2.ID); got.CacheHits != 1 {
+		t.Errorf("follow-up job cache hits = %d, want 1", got.CacheHits)
+	}
+
+	// The untraced job has no trace to serve.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + st2.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("untraced job trace status = %d, want 404", resp2.StatusCode)
+	}
+}

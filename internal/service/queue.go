@@ -16,6 +16,10 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// traceWanted marks single-cell jobs that requested a Chrome trace;
+	// traceData holds the rendered JSON once the cell completes.
+	traceWanted bool
+
 	mu        sync.Mutex
 	state     string
 	err       string
@@ -25,6 +29,21 @@ type job struct {
 	events    []Event
 	notify    chan struct{} // closed and replaced on every append
 	results   []CellResult  // indexed by cell, filled as cells complete
+	traceData []byte
+}
+
+// setTrace stores the rendered Chrome trace.
+func (j *job) setTrace(data []byte) {
+	j.mu.Lock()
+	j.traceData = data
+	j.mu.Unlock()
+}
+
+// traceBytes returns the stored Chrome trace, if any.
+func (j *job) traceBytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.traceData
 }
 
 func newJob(id string, cells []CellSpec, par int, ctx context.Context, cancel context.CancelFunc) *job {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -13,6 +14,8 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -80,11 +83,17 @@ type Server struct {
 	order  []string // submission order, for listing
 	nextID atomic.Uint64
 
-	simRate        metrics.SimRate
-	cellsSimulated atomic.Uint64
-	cellsCached    atomic.Uint64
-	jobsSubmitted  atomic.Uint64
-	jobsRejected   atomic.Uint64
+	simRate metrics.SimRate
+
+	// reg is the daemon's metrics registry, served at GET /metrics. The
+	// operational counters below and the shared simulator histograms
+	// (sim) are all registered on it.
+	reg            *obs.Registry
+	sim            *obs.SimMetrics
+	cellsSimulated *obs.Counter
+	cellsCached    *obs.Counter
+	jobsSubmitted  *obs.Counter
+	jobsRejected   *obs.Counter
 }
 
 // New builds a server and starts its worker pool.
@@ -97,6 +106,7 @@ func New(cfg Config) *Server {
 		quit:   make(chan struct{}),
 		jobs:   make(map[string]*job),
 	}
+	s.registerMetrics()
 	s.routes()
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -104,6 +114,70 @@ func New(cfg Config) *Server {
 	}
 	return s
 }
+
+// registerMetrics declares the daemon's operational metrics and the
+// shared simulator histograms on one registry. Gauges that mirror live
+// state (queue depth, busy workers, cache size) are computed at
+// exposition time; counters are incremented on the hot path.
+func (s *Server) registerMetrics() {
+	r := obs.NewRegistry()
+	s.reg = r
+	s.sim = obs.NewSimMetrics(r)
+	s.jobsSubmitted = r.Counter("cbsimd_jobs_submitted_total", "Jobs accepted into the queue.")
+	s.jobsRejected = r.Counter("cbsimd_jobs_rejected_total", "Jobs rejected with backpressure (queue full).")
+	s.cellsSimulated = r.Counter("cbsimd_cells_simulated_total", "Cells resolved by running a fresh simulation.")
+	s.cellsCached = r.Counter("cbsimd_cells_cached_total", "Cells served from the content-addressed cache.")
+	r.GaugeFunc("cbsimd_queue_depth", "Queued-but-not-running jobs.",
+		func() float64 { return float64(len(s.jobsCh)) })
+	r.GaugeFunc("cbsimd_queue_capacity", "Job queue capacity.",
+		func() float64 { return float64(cap(s.jobsCh)) })
+	r.GaugeFunc("cbsimd_workers", "Worker pool size.",
+		func() float64 { return float64(s.cfg.Workers) })
+	r.GaugeFunc("cbsimd_workers_busy", "Workers currently running a job.",
+		func() float64 { return float64(s.busy.Load()) })
+	r.GaugeFunc("cbsimd_draining", "1 while graceful drain is in progress.",
+		func() float64 { return float64(boolInt(s.draining.Load())) })
+	for _, st := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateRetryable} {
+		st := st
+		r.GaugeFunc("cbsimd_jobs", "Jobs by state.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, j := range s.jobs {
+				if j.status().State == st {
+					n++
+				}
+			}
+			return float64(n)
+		}, obs.L("state", st))
+	}
+	r.GaugeFunc("cbsimd_cache_hits_total", "Result-cache hits.",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	r.GaugeFunc("cbsimd_cache_misses_total", "Result-cache misses.",
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	r.GaugeFunc("cbsimd_cache_evictions_total", "Result-cache evictions.",
+		func() float64 { return float64(s.cache.Stats().Evictions) })
+	r.GaugeFunc("cbsimd_cache_entries", "Result-cache entries resident.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	r.GaugeFunc("cbsimd_cache_bytes", "Result-cache bytes resident.",
+		func() float64 { return float64(s.cache.Stats().Bytes) })
+	r.GaugeFunc("cbsimd_cache_capacity_bytes", "Result-cache capacity.",
+		func() float64 { return float64(s.cache.Stats().MaxBytes) })
+	r.GaugeFunc("cbsimd_cache_hit_rate", "Result-cache hit rate in [0,1].",
+		func() float64 { return s.cache.Stats().HitRate() })
+	r.GaugeFunc("cbsimd_sim_cells_observed_total", "Cells folded into the sim-rate estimate.",
+		func() float64 { cells, _, _ := s.simRate.Snapshot(); return float64(cells) })
+	r.GaugeFunc("cbsimd_sim_cycles_total", "Simulated cycles across fresh cells.",
+		func() float64 { _, cycles, _ := s.simRate.Snapshot(); return float64(cycles) })
+	r.GaugeFunc("cbsimd_sim_wall_seconds_total", "Wall-clock seconds spent simulating.",
+		func() float64 { _, _, wall := s.simRate.Snapshot(); return wall.Seconds() })
+	r.GaugeFunc("cbsimd_sim_cycles_per_wall_second", "Aggregate simulated-vs-wall rate.",
+		s.simRate.CyclesPerSecond)
+}
+
+// Registry exposes the daemon's metrics registry (for embedding servers
+// that want to add their own series).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Handler returns the daemon's HTTP API.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -116,6 +190,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 }
@@ -176,12 +251,15 @@ func (s *Server) runJob(j *job) {
 	s.cfg.Logf("job %s %s: %d/%d cells, %d cache hits", j.id, st.State, st.CellsDone, st.Cells, st.CacheHits)
 }
 
-// runCell resolves one cell: cache hit or fresh simulation.
+// runCell resolves one cell: cache hit or fresh simulation. A traced
+// cell (single-cell jobs only) always simulates fresh — the trace must
+// match the reported result — but still populates the cache for
+// untraced followers.
 func (s *Server) runCell(j *job, i int) error {
 	c := j.cells[i]
 	key := c.Key(s.cfg.VersionSalt)
-	if data, ok := s.cache.Get(key); ok {
-		s.cellsCached.Add(1)
+	if data, ok := s.cache.Get(key); ok && !j.traceWanted {
+		s.cellsCached.Inc()
 		j.cellDone(i, CellResult{Cached: true, Data: data}, Event{
 			Type: "cell_done", Job: j.id, Cell: i + 1, Cells: len(j.cells),
 			Benchmark: c.Benchmark, Setup: c.Setup, Cached: true,
@@ -203,6 +281,7 @@ func (s *Server) runCell(j *job, i int) error {
 		Limit:       c.Limit,
 		Parallelism: 1, // a cell is a single simulation
 		Context:     j.ctx,
+		Metrics:     s.sim,
 		Progress: func(e experiments.RunEvent) {
 			if !e.Done {
 				j.emit(Event{
@@ -214,16 +293,28 @@ func (s *Server) runCell(j *job, i int) error {
 			wall = e.Wall
 		},
 	}
+	var chrome bytes.Buffer
+	var cw *trace.ChromeWriter
+	if j.traceWanted {
+		cw = trace.NewChromeWriter(&chrome)
+		co.Trace = cw
+	}
 	res, err := experiments.RunBenchmark(p, setup, c.SyncStyle(), co)
 	if err != nil {
 		return err
+	}
+	if cw != nil {
+		if err := cw.Close(); err != nil {
+			return fmt.Errorf("finalizing trace for %s/%s: %w", c.Benchmark, c.Setup, err)
+		}
+		j.setTrace(chrome.Bytes())
 	}
 	data, err := json.Marshal(cellPayload{Spec: c, Stats: res.Stats, Energy: res.Energy})
 	if err != nil {
 		return fmt.Errorf("marshaling result for %s/%s: %w", c.Benchmark, c.Setup, err)
 	}
 	s.cache.Put(key, data)
-	s.cellsSimulated.Add(1)
+	s.cellsSimulated.Inc()
 	s.simRate.Observe(res.Stats.Cycles, wall)
 	j.cellDone(i, CellResult{WallMS: wallMS(wall), Data: data}, Event{
 		Type: "cell_done", Job: j.id, Cell: i + 1, Cells: len(j.cells),
@@ -314,6 +405,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
+	if req.Trace && len(cells) != 1 {
+		writeJSON(w, http.StatusBadRequest, apiError{
+			Error: fmt.Sprintf("trace requires a single-cell job (request expands to %d cells)", len(cells)),
+		})
+		return
+	}
 	par := req.Parallelism
 	if par <= 0 || par > s.cfg.Parallelism {
 		par = s.cfg.Parallelism
@@ -327,6 +424,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
 	j := newJob(id, cells, par, ctx, cancel)
+	j.traceWanted = req.Trace
 
 	s.mu.Lock()
 	s.jobs[id] = j
@@ -347,12 +445,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Unlock()
 		cancel()
-		s.jobsRejected.Add(1)
+		s.jobsRejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: "job queue full", Retryable: true})
 		return
 	}
-	s.jobsSubmitted.Add(1)
+	s.jobsSubmitted.Inc()
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
@@ -406,6 +504,27 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// handleTrace serves a traced job's Chrome trace-event JSON (load it in
+// chrome://tracing or Perfetto). 404 if the job didn't request tracing,
+// 409 while the trace is still being captured.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	if !j.traceWanted {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("job %q was not submitted with trace=true", j.id)})
+		return
+	}
+	data := j.traceBytes()
+	if data == nil {
+		writeJSON(w, http.StatusConflict, j.status())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
 // handleEvents streams the job's event log as NDJSON: everything so far
 // immediately, then live events until the job reaches a terminal state
 // or the client disconnects.
@@ -448,43 +567,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": s.draining.Load()})
 }
 
-// handleMetrics exports the daemon's operational counters in a
-// Prometheus-style text format: queue depth, worker utilization, cache
-// hit rate, and the aggregate simulated-vs-wall-clock rate.
+// handleMetrics exports the daemon's metrics registry in the Prometheus
+// text format: queue depth, worker utilization, cache hit rate, the
+// aggregate simulated-vs-wall-clock rate, and the simulator latency
+// histograms fed by every fresh cell.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	byState := make(map[string]int)
-	for _, j := range s.jobs {
-		byState[j.status().State]++
-	}
-	s.mu.Unlock()
-	cs := s.cache.Stats()
-	cells, cycles, wall := s.simRate.Snapshot()
-
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "cbsimd_queue_depth %d\n", len(s.jobsCh))
-	fmt.Fprintf(w, "cbsimd_queue_capacity %d\n", cap(s.jobsCh))
-	fmt.Fprintf(w, "cbsimd_workers %d\n", s.cfg.Workers)
-	fmt.Fprintf(w, "cbsimd_workers_busy %d\n", s.busy.Load())
-	fmt.Fprintf(w, "cbsimd_draining %d\n", boolInt(s.draining.Load()))
-	fmt.Fprintf(w, "cbsimd_jobs_submitted_total %d\n", s.jobsSubmitted.Load())
-	fmt.Fprintf(w, "cbsimd_jobs_rejected_total %d\n", s.jobsRejected.Load())
-	for _, st := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateRetryable} {
-		fmt.Fprintf(w, "cbsimd_jobs{state=%q} %d\n", st, byState[st])
-	}
-	fmt.Fprintf(w, "cbsimd_cache_hits_total %d\n", cs.Hits)
-	fmt.Fprintf(w, "cbsimd_cache_misses_total %d\n", cs.Misses)
-	fmt.Fprintf(w, "cbsimd_cache_evictions_total %d\n", cs.Evictions)
-	fmt.Fprintf(w, "cbsimd_cache_entries %d\n", cs.Entries)
-	fmt.Fprintf(w, "cbsimd_cache_bytes %d\n", cs.Bytes)
-	fmt.Fprintf(w, "cbsimd_cache_capacity_bytes %d\n", cs.MaxBytes)
-	fmt.Fprintf(w, "cbsimd_cache_hit_rate %g\n", cs.HitRate())
-	fmt.Fprintf(w, "cbsimd_cells_simulated_total %d\n", s.cellsSimulated.Load())
-	fmt.Fprintf(w, "cbsimd_cells_cached_total %d\n", s.cellsCached.Load())
-	fmt.Fprintf(w, "cbsimd_sim_cells_observed_total %d\n", cells)
-	fmt.Fprintf(w, "cbsimd_sim_cycles_total %d\n", cycles)
-	fmt.Fprintf(w, "cbsimd_sim_wall_seconds_total %g\n", wall.Seconds())
-	fmt.Fprintf(w, "cbsimd_sim_cycles_per_wall_second %g\n", s.simRate.CyclesPerSecond())
+	s.reg.WritePrometheus(w)
 }
 
 func boolInt(b bool) int {

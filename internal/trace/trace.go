@@ -1,26 +1,41 @@
 // Package trace provides a lightweight structured event trace for the
-// simulator: network sends/deliveries and callback-directory activity can
-// be streamed to a writer or collected in a bounded ring buffer and
-// filtered by address — the first tool to reach for when a protocol run
-// misbehaves.
+// simulator: network sends/deliveries, callback-directory activity,
+// core synchronization phases, and monitor events can be streamed to a
+// writer, collected in a bounded ring buffer, exported as a Chrome
+// trace-event (catapult) file, or aggregated into obs histograms — the
+// first tool to reach for when a protocol run misbehaves, and the feed
+// for the observability layer.
 package trace
 
 import (
 	"fmt"
 	"io"
-	"strings"
 	"sync"
 
 	"repro/internal/memtypes"
+	"repro/internal/obs"
 )
 
-// Event is one traced occurrence.
+// Event is one traced occurrence. What names the event kind; the
+// simulator emits:
+//
+//	send, deliver     network injection/arrival (Arg packs src<<32|dst)
+//	cb.block          a callback read parked in the directory
+//	cb.wake, cb.stale a parked operation serviced (by a write / eviction)
+//	cb.occ            directory consultation (Arg = live entries)
+//	sync.begin        a core entered a synchronization phase (Note = kind)
+//	sync.end          a core left one (Note = kind, Arg = cycles spent)
+//	spin.wait         a back-off spin wait (Arg = wait cycles)
+//	mon.arm, mon.wake MONITOR/MWAIT activity (quiesce extension)
 type Event struct {
 	Cycle uint64
 	Node  memtypes.NodeID
-	What  string // e.g. "send", "deliver", "cb.block", "cb.wake"
+	What  string
 	Addr  memtypes.Addr
-	Note  string
+	// Arg carries an event-specific number (durations, occupancies,
+	// packed src/dst pairs) without allocating a Note string.
+	Arg  uint64
+	Note string
 }
 
 func (e Event) String() string {
@@ -37,9 +52,10 @@ type Ring struct {
 	buf   []Event
 	next  int
 	count int
-	// Filter keeps only events whose line matches (zero Addr keeps
-	// everything).
-	Filter memtypes.Addr
+	// FilterLine, when non-nil, keeps only events on the same cache line
+	// (nil keeps everything — including line 0, which the old zero-Addr
+	// sentinel could not express).
+	FilterLine *memtypes.Addr
 }
 
 // NewRing builds a ring holding up to n events.
@@ -52,7 +68,7 @@ func NewRing(n int) *Ring {
 
 // Emit implements Sink.
 func (r *Ring) Emit(e Event) {
-	if r.Filter != 0 && e.Addr.Line() != r.Filter.Line() {
+	if r.FilterLine != nil && e.Addr.Line() != r.FilterLine.Line() {
 		return
 	}
 	r.buf[r.next] = e
@@ -89,13 +105,14 @@ func (r *Ring) Dump(w io.Writer) {
 // trace).
 type Writer struct {
 	W io.Writer
-	// Filter keeps only events whose line matches (zero keeps all).
-	Filter memtypes.Addr
+	// FilterLine, when non-nil, keeps only events on the same cache line
+	// (nil keeps all).
+	FilterLine *memtypes.Addr
 }
 
 // Emit implements Sink.
 func (w *Writer) Emit(e Event) {
-	if w.Filter != 0 && e.Addr.Line() != w.Filter.Line() {
+	if w.FilterLine != nil && e.Addr.Line() != w.FilterLine.Line() {
 		return
 	}
 	fmt.Fprintln(w.W, e)
@@ -131,19 +148,11 @@ func (m Multi) Emit(e Event) {
 }
 
 // Summarize aggregates an event slice into "what -> count" lines, useful
-// in tests and quick looks.
+// in tests and quick looks. It sits on the shared obs.Tally primitive.
 func Summarize(events []Event) string {
-	counts := map[string]int{}
-	var order []string
+	t := obs.NewTally()
 	for _, e := range events {
-		if counts[e.What] == 0 {
-			order = append(order, e.What)
-		}
-		counts[e.What]++
+		t.Inc(e.What)
 	}
-	var b strings.Builder
-	for _, w := range order {
-		fmt.Fprintf(&b, "%s=%d ", w, counts[w])
-	}
-	return strings.TrimSpace(b.String())
+	return t.String()
 }

@@ -26,11 +26,43 @@ func TestRingKeepsMostRecent(t *testing.T) {
 
 func TestRingFilter(t *testing.T) {
 	r := NewRing(8)
-	r.Filter = 0x1000
+	line := memtypes.Addr(0x1000)
+	r.FilterLine = &line
 	r.Emit(Event{Addr: 0x1008, What: "keep"}) // same line
 	r.Emit(Event{Addr: 0x2000, What: "drop"})
 	if r.Len() != 1 || r.Events()[0].What != "keep" {
 		t.Fatalf("filter broken: %v", r.Events())
+	}
+}
+
+func TestRingFilterLineZero(t *testing.T) {
+	// The old Addr-valued filter treated line 0 as "no filter"; the
+	// pointer form must be able to select line 0 explicitly.
+	r := NewRing(8)
+	zero := memtypes.Addr(0)
+	r.FilterLine = &zero
+	r.Emit(Event{Addr: 0x08, What: "keep"}) // line 0
+	r.Emit(Event{Addr: 0x40, What: "drop"}) // line 1
+	if r.Len() != 1 || r.Events()[0].What != "keep" {
+		t.Fatalf("line-0 filter broken: %v", r.Events())
+	}
+	// And nil keeps everything, including addr 0.
+	r2 := NewRing(8)
+	r2.Emit(Event{Addr: 0, What: "a"})
+	r2.Emit(Event{Addr: 0x2000, What: "b"})
+	if r2.Len() != 2 {
+		t.Fatalf("nil filter dropped events: %v", r2.Events())
+	}
+}
+
+func TestWriterFilterLine(t *testing.T) {
+	var sb strings.Builder
+	line := memtypes.Addr(0x40)
+	w := &Writer{W: &sb, FilterLine: &line}
+	w.Emit(Event{Addr: 0x44, What: "keep"})
+	w.Emit(Event{Addr: 0x80, What: "drop"})
+	if !strings.Contains(sb.String(), "keep") || strings.Contains(sb.String(), "drop") {
+		t.Fatalf("writer filter broken: %q", sb.String())
 	}
 }
 

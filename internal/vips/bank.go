@@ -53,8 +53,10 @@ type Bank struct {
 	parked map[memtypes.Addr]map[memtypes.NodeID]*memtypes.Message
 
 	// observer, when set, is called on callback-directory activity
-	// (tracing): "cb.block", "cb.wake", "cb.stale".
-	observer func(cycle uint64, core memtypes.NodeID, addr memtypes.Addr, what string)
+	// (tracing): "cb.block", "cb.wake", "cb.stale" (core = the waiting
+	// core), and "cb.occ" (core = this bank, arg = live entries after a
+	// consultation).
+	observer func(cycle uint64, core memtypes.NodeID, addr memtypes.Addr, what string, arg uint64)
 
 	stats BankCtrlStats
 }
@@ -86,13 +88,22 @@ func NewBank(k *sim.Kernel, id memtypes.NodeID, mesh *noc.Mesh, store *mem.Store
 func (b *Bank) Stats() BankCtrlStats { return b.stats }
 
 // SetObserver installs a tracing hook for callback-directory activity.
-func (b *Bank) SetObserver(fn func(cycle uint64, core memtypes.NodeID, addr memtypes.Addr, what string)) {
+func (b *Bank) SetObserver(fn func(cycle uint64, core memtypes.NodeID, addr memtypes.Addr, what string, arg uint64)) {
 	b.observer = fn
 }
 
 func (b *Bank) observe(core memtypes.NodeID, addr memtypes.Addr, what string) {
 	if b.observer != nil {
-		b.observer(b.k.Now(), core, addr, what)
+		b.observer(b.k.Now(), core, addr, what, 0)
+	}
+}
+
+// observeOcc samples the callback directory's occupancy after a
+// consultation (the cb.occ event feeding the occupancy histogram). The
+// Live scan only runs when a trace sink is attached.
+func (b *Bank) observeOcc(addr memtypes.Addr) {
+	if b.observer != nil && b.cbdir != nil {
+		b.observer(b.k.Now(), b.id, addr, "cb.occ", uint64(b.cbdir.Live()))
 	}
 }
 
@@ -242,6 +253,7 @@ func (b *Bank) readThrough(msg *memtypes.Message) {
 	if b.cbdir != nil {
 		b.stats.CBDirAccesses++
 		b.cbdir.ReadThrough(int(msg.Core), msg.Req.Addr)
+		b.observeOcc(msg.Req.Addr)
 	}
 	b.withLine(msg.Req.Addr, func(release func()) {
 		lat := b.data.Access(msg.Req.Addr, true, reqSyncKind(msg.Req))
@@ -260,6 +272,7 @@ func (b *Bank) callbackRead(msg *memtypes.Message) {
 	b.k.Schedule(b.cbdirLat, func() {
 		res, ev := b.cbdir.CallbackRead(int(msg.Core), msg.Req.Addr)
 		b.answerEviction(ev)
+		b.observeOcc(msg.Req.Addr)
 		if res == core.ReadBlocked {
 			b.park(msg)
 			return
@@ -286,6 +299,7 @@ func (b *Bank) racyWrite(msg *memtypes.Message) {
 			b.stats.CBDirAccesses++
 			mode := cbWriteMode(req.Kind)
 			wakes := b.cbdir.Write(req.Addr, mode)
+			b.observeOcc(req.Addr)
 			b.k.Schedule(b.cbdirLat, func() {
 				b.wake(wakes, req.Addr, req.Value, false)
 			})
@@ -321,6 +335,7 @@ func (b *Bank) rmw(msg *memtypes.Message) {
 		b.k.Schedule(b.cbdirLat, func() {
 			res, ev := b.cbdir.CallbackRead(int(msg.Core), req.Addr)
 			b.answerEviction(ev)
+			b.observeOcc(req.Addr)
 			if res == core.ReadBlocked {
 				b.park(msg)
 				return
@@ -333,6 +348,7 @@ func (b *Bank) rmw(msg *memtypes.Message) {
 		// The plain-load half still consumes available F/E state.
 		b.stats.CBDirAccesses++
 		b.cbdir.ReadThrough(int(msg.Core), req.Addr)
+		b.observeOcc(req.Addr)
 	}
 	b.executeRMW(msg)
 }
@@ -357,6 +373,7 @@ func (b *Bank) executeRMW(msg *memtypes.Message) {
 				if b.cbdir != nil {
 					b.stats.CBDirAccesses++
 					wakes := b.cbdir.Write(req.Addr, req.RMWSt)
+					b.observeOcc(req.Addr)
 					b.wake(wakes, req.Addr, newVal, false)
 				}
 				if writes && (req.RMW == memtypes.RMWSwap || req.RMW == memtypes.RMWFetchAdd) {
