@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-snapshot ci figures
+.PHONY: all build test vet vet-cb race test-debug bench bench-snapshot ci figures
 
 all: build
 
@@ -10,11 +10,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+# vet-cb runs the project's own analyzers (internal/analysis, driven by
+# cmd/cbvet) through the go vet harness: determinism, msgfree, hotpath,
+# obsreadonly. See README "Static analysis".
+vet-cb:
+	$(GO) build -o bin/cbvet ./cmd/cbvet
+	$(GO) vet -vettool=$(CURDIR)/bin/cbvet ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# test-debug exercises the -tags cbsimdebug build: the noc double-free
+# guard (poison + panic) and its tagged tests.
+test-debug:
+	$(GO) test -tags cbsimdebug ./internal/noc/
 
 # bench runs every benchmark once: a smoke pass that exercises the figure
 # regeneration paths and the alloc-counting benchmarks without the full
@@ -27,9 +39,10 @@ bench:
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -o BENCH_pr.json
 
-# ci is the full gate: vet, build, race-enabled tests, a single-shot
+# ci is the full gate: vet (stock + project analyzers), build,
+# race-enabled tests, the cbsimdebug tagged tests, a single-shot
 # benchmark pass, and the archived perf snapshot.
-ci: vet build race bench bench-snapshot
+ci: vet vet-cb build race test-debug bench bench-snapshot
 
 # figures regenerates every table of the paper at full 64-core scale.
 figures:

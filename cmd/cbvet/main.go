@@ -1,0 +1,227 @@
+// Command cbvet runs the repository's custom static analyzers: the
+// invariants that keep the simulator deterministic (determinism),
+// leak-free (msgfree), allocation-free on annotated hot paths (hotpath),
+// and observationally pure in trace hooks (obsreadonly).
+//
+// Two modes:
+//
+//	cbvet ./...                          # standalone driver
+//	go vet -vettool=$(which cbvet) ./... # unit-checker under cmd/go
+//
+// In standalone mode cbvet loads, type-checks, and analyzes the matched
+// packages itself (source importer; no compiled export data needed). As
+// a vet tool it speaks cmd/go's unit-checker protocol: go vet invokes it
+// once per package with a JSON config naming the package's files and the
+// compiled export data of its dependencies.
+//
+// Diagnostics are printed as file:line:col: [analyzer] message; the exit
+// status is non-zero when any diagnostic is reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/msgfree"
+	"repro/internal/analysis/obsreadonly"
+)
+
+var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	msgfree.Analyzer,
+	hotpath.Analyzer,
+	obsreadonly.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// cmd/go probes the tool's identity and flag set before use.
+	if len(args) > 0 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			fmt.Printf("%s version cbvet-1.0\n", progName())
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	// Unit-checker mode: a single *.cfg argument from go vet.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vettool(args[0]))
+	}
+
+	fs := flag.NewFlagSet("cbvet", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cbvet [packages]\n       go vet -vettool=$(which cbvet) [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+	os.Exit(standalone(fs.Args()))
+}
+
+func progName() string {
+	return strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+}
+
+// standalone loads the packages itself and runs every analyzer.
+func standalone(patterns []string) int {
+	pkgs, err := analysis.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbvet:", err)
+		return 1
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbvet:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", relPosition(d.Fset, d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cbvet: %d diagnostic(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func relPosition(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			p.Filename = rel
+		}
+	}
+	return p.String()
+}
+
+// vetConfig mirrors the JSON configuration cmd/go passes to vet tools
+// (the unit-checker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vettool implements one per-package invocation under go vet.
+func vettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cbvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go requires the facts file regardless; cbvet's analyzers are
+	// package-local, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("cbvet-no-facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "cbvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := gcImporter(fset, &cfg)
+	pkg, err := analysis.CheckFiles(fset, imp, cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "cbvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := analysis.RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbvet:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2 // the unit-checker "diagnostics reported" status
+	}
+	return 0
+}
+
+// gcImporter resolves imports from the compiled export data cmd/go
+// already built for the package's dependencies, falling back to the
+// source importer (useful for stdlib packages when export data is
+// unavailable).
+func gcImporter(fset *token.FileSet, cfg *vetConfig) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &fallbackImporter{
+		primary:  importer.ForCompiler(fset, cfg.Compiler, lookup),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+type fallbackImporter struct {
+	primary  types.Importer
+	fallback types.Importer
+}
+
+func (f *fallbackImporter) Import(path string) (*types.Package, error) {
+	pkg, err := f.primary.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	if pkg2, err2 := f.fallback.Import(path); err2 == nil {
+		return pkg2, nil
+	}
+	return nil, err
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestIsSimCore(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/sim", true},
+		{"repro/internal/machine", true},
+		{"repro/internal/memtypes", true},
+		{"repro/internal/sim/fixture", true}, // synthetic fixture paths
+		{"repro/internal/experiments", false},
+		{"repro/internal/obs", false},
+		{"repro/internal/trace", false},
+		{"repro/internal/analysis", false},
+		{"repro/cmd/cbsim", false},
+		{"fmt", false},
+	}
+	for _, c := range cases {
+		if got := IsSimCore(c.path); got != c.want {
+			t.Errorf("IsSimCore(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	src := `package p
+
+//cbsim:hotpath
+// A regular doc line.
+//cbvet:unordered keys are sorted before use
+// cbvet:unordered not a directive: space after the slashes
+func F() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	got := Directives(fd.Doc)
+	want := []string{"cbsim:hotpath", "cbvet:unordered"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Directives = %v, want %v", got, want)
+	}
+	if !HasDirective(fd.Doc, "cbsim:hotpath") {
+		t.Error("HasDirective(cbsim:hotpath) = false")
+	}
+	if HasDirective(fd.Doc, "cbvet:alloc-ok") {
+		t.Error("HasDirective(cbvet:alloc-ok) = true for undeclared directive")
+	}
+}
+
+func TestLineDirectivesCovers(t *testing.T) {
+	src := `package p
+
+func F(m map[int]int) (n int) {
+	//cbvet:unordered line above
+	for range m {
+		n++
+	}
+	for range m { //cbvet:unordered same line
+		n++
+	}
+	for range m {
+		n++
+	}
+	return n
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := NewLineDirectives(fset, f)
+	var loops []*ast.RangeStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			loops = append(loops, rs)
+		}
+		return true
+	})
+	if len(loops) != 3 {
+		t.Fatalf("found %d range loops, want 3", len(loops))
+	}
+	for i, want := range []bool{true, true, false} {
+		if got := ld.Covers(loops[i].Pos(), "cbvet:unordered"); got != want {
+			t.Errorf("loop %d: Covers = %v, want %v", i, got, want)
+		}
+	}
+}

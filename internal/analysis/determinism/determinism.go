@@ -1,0 +1,116 @@
+// Package determinism defines the cbvet analyzer that keeps the
+// simulator core bit-reproducible.
+//
+// Every headline result of this reproduction rests on runs being
+// byte-identical: serial vs parallel sweeps (PR 1), tracing on vs off
+// (PR 3), and the content-addressed result cache (PR 2) all compare raw
+// Stats bytes. The simulator core must therefore never consult wall
+// clocks, the global (shared, racily-seeded) math/rand source, or Go's
+// randomized map iteration order, and must never spawn goroutines — a
+// simulated machine is single-threaded by contract, with concurrency
+// confined to the sweep worker pool in internal/experiments.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags nondeterminism sources in simulator-core packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: `forbid nondeterminism in simulator-core packages
+
+Flags, in internal/{sim,machine,cpu,core,isa,mesi,vips,noc,cache,mem,
+memtypes,synclib,workload}:
+
+  - calls to wall-clock functions (time.Now, time.Since, ...): simulated
+    time is kernel cycles, never host time
+  - top-level math/rand functions (rand.Intn, ...): they draw from the
+    process-global, racily shared source; use rand.New(rand.NewSource(seed))
+    so every stream is owned and seeded
+  - range over a map: iteration order is randomized per run; extract and
+    sort the keys, or annotate the statement //cbvet:unordered when the
+    loop body is provably order-independent (pure accumulation)
+  - go statements: machines are single-goroutine by contract; concurrency
+    belongs to the sweep worker pool in internal/experiments`,
+	Run: run,
+}
+
+// wallClock lists time-package functions that read or depend on the host
+// clock. (Constants and duration arithmetic remain fine.)
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"Sleep": true,
+}
+
+// randAllowed lists math/rand package-level functions that construct
+// owned generators rather than drawing from the global source.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsSimCore(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if len(file.Decls) > 0 && pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ld := analysis.NewLineDirectives(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				checkIdent(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, ld, n)
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in simulator-core package %s: machines are single-goroutine; use the sweep worker pool in internal/experiments", pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkIdent flags uses of wall-clock and global-source rand functions.
+func checkIdent(pass *analysis.Pass, id *ast.Ident) {
+	obj := pass.TypesInfo.Uses[id]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn, time.Time.Sub) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClock[fn.Name()] {
+			pass.Reportf(id.Pos(), "time.%s in simulator-core package: simulated time is kernel cycles, never host time", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randAllowed[fn.Name()] {
+			pass.Reportf(id.Pos(), "global math/rand.%s draws from the shared process source; use rand.New(rand.NewSource(seed)) for a deterministic owned stream", fn.Name())
+		}
+	}
+}
+
+// checkRange flags iteration over maps unless waived.
+func checkRange(pass *analysis.Pass, ld *analysis.LineDirectives, rs *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if ld.Covers(rs.Pos(), "cbvet:unordered") {
+		return
+	}
+	pass.Reportf(rs.Pos(), "range over map in simulator-core package: iteration order is randomized; sort the keys first, or annotate //cbvet:unordered if the body is order-independent")
+}

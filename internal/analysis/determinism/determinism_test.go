@@ -1,0 +1,22 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "simcore"),
+		determinism.Analyzer, "repro/internal/sim/fixture")
+}
+
+// TestOutsideSimCore runs the same analyzer over a fixture full of
+// nondeterminism under a non-sim-core import path: the sweep and service
+// layers legitimately use wall clocks and goroutines, so the analyzer
+// must stay silent there.
+func TestOutsideSimCore(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "outside"),
+		determinism.Analyzer, "repro/internal/experiments/fixture")
+}

@@ -1,0 +1,19 @@
+// Package fixture exercises the determinism analyzer's scoping: checked
+// under a non-sim-core path (repro/internal/experiments/fixture), none of
+// these constructs may be flagged.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Timestamp() time.Time { return time.Now() }
+
+func Jitter() int { return rand.Intn(10) }
+
+func Fanout(work map[int]func()) {
+	for _, f := range work {
+		go f()
+	}
+}

@@ -1,0 +1,10 @@
+// Test files are exempt even inside sim-core packages: tests may time
+// themselves, shuffle inputs, and spawn goroutines. No want comments —
+// any diagnostic from this file fails the harness.
+package fixture
+
+import "time"
+
+func testOnlyTimestamp() time.Time { return time.Now() }
+
+func testOnlySpawn(f func()) { go f() }

@@ -1,0 +1,50 @@
+// Package fixture plants every nondeterminism source the determinism
+// analyzer must catch, next to the deterministic variant it must accept.
+// The analysistest harness checks it under the synthetic sim-core import
+// path repro/internal/sim/fixture.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func WallClock() time.Duration {
+	start := time.Now()      // want "time.Now"
+	return time.Since(start) // want "time.Since"
+}
+
+func GlobalRand() int {
+	return rand.Intn(10) // want "math/rand.Intn"
+}
+
+// OwnedRand is the approved pattern: an explicitly seeded, owned stream.
+// Methods on *rand.Rand are fine; only the package-level functions draw
+// from the shared global source.
+func OwnedRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func SumUnsorted(m map[int]uint64) uint64 {
+	var total uint64
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+// SumWaived carries the waiver: addition is commutative, so iteration
+// order cannot leak into the result.
+func SumWaived(m map[int]uint64) uint64 {
+	var total uint64
+	//cbvet:unordered commutative sum, order-independent
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func Spawn(f func()) {
+	go f() // want "go statement"
+}

@@ -1,0 +1,13 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "hot"),
+		hotpath.Analyzer, "repro/internal/noc/fixture")
+}

@@ -1,0 +1,90 @@
+// Package fixture plants one of each allocating construct inside
+// //cbsim:hotpath functions, next to the allocation-free idioms the
+// simulator's hot paths actually use (and an unannotated twin that may
+// allocate freely).
+package fixture
+
+import "fmt"
+
+type kernel struct {
+	tasks []func()
+}
+
+func (k *kernel) schedule(f func()) { k.tasks = append(k.tasks, f) }
+
+type counter struct {
+	n int
+}
+
+func (c counter) Read() int { return c.n }
+
+func sink(v any) { _ = v }
+
+// --- planted allocations ---
+
+//cbsim:hotpath
+func Bad(k *kernel, n int, a, b string) {
+	k.schedule(func() { use(n) }) // want "captures"
+	_ = fmt.Sprintf("%d", n)      // want "fmt.Sprintf"
+	_ = a + b                     // want "string concatenation"
+	_ = map[int]int{}             // want "map literal"
+	_ = make([]int, 4)            // want "make allocates"
+	_ = &counter{}                // want "literal allocates"
+}
+
+//cbsim:hotpath
+func MethodValue(c counter) func() int {
+	return c.Read // want "method value"
+}
+
+//cbsim:hotpath
+func BoxReturn(n int) any {
+	return n // want "boxes int"
+}
+
+//cbsim:hotpath
+func BoxArg(n int) {
+	sink(n) // want "boxes int"
+}
+
+// --- allocation-free idioms ---
+
+func use(n int) { _ = n }
+
+// NonCapturing closures are static funcvals: no allocation.
+//
+//cbsim:hotpath
+func NonCapturing(k *kernel) {
+	k.schedule(func() {})
+}
+
+// Pointers box for free (the value already lives behind a pointer).
+//
+//cbsim:hotpath
+func BoxPointer(c *counter) {
+	sink(c)
+}
+
+// Cold panic paths may allocate: the simulation is already dead.
+//
+//cbsim:hotpath
+func ColdPanic(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("fixture: negative %d", n))
+	}
+	return n
+}
+
+// A deliberate growth-path allocation carries a waiver.
+//
+//cbsim:hotpath
+func GrowthPath() []func() {
+	//cbvet:alloc-ok one-time growth path, amortized away
+	return make([]func(), 0, 8)
+}
+
+// Unannotated functions may allocate freely.
+func Unannotated(k *kernel, n int) string {
+	k.schedule(func() { use(n) })
+	return fmt.Sprintf("%d", n)
+}

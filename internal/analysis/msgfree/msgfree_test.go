@@ -1,0 +1,13 @@
+package msgfree_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/msgfree"
+)
+
+func TestMsgfree(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "msgs"),
+		msgfree.Analyzer, "fixture/internal/memtypes")
+}

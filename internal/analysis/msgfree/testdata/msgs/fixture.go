@@ -1,0 +1,114 @@
+// Package fixture plants the three Message-lifecycle bug classes the
+// msgfree analyzer must catch — double free, use after free, leak —
+// beside the ownership patterns the simulator actually uses, which must
+// stay clean. The local Message type stands in for memtypes.Message: the
+// harness checks the package under a path ending in internal/memtypes,
+// which is what the analyzer keys on.
+package fixture
+
+// Message mirrors memtypes.Message for the analyzer's type matching.
+type Message struct {
+	Value uint64
+}
+
+// Pool mirrors memtypes.MsgPool.
+type Pool struct {
+	free []*Message
+}
+
+func (p *Pool) Get() *Message {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		return m
+	}
+	return &Message{}
+}
+
+func (p *Pool) Free(m *Message) {
+	m.Value = 0
+	p.free = append(p.free, m)
+}
+
+// Sender models a hand-off consumer (like noc.Mesh.Send).
+type Sender struct {
+	out []*Message
+}
+
+func (s *Sender) Send(m *Message) { s.out = append(s.out, m) }
+
+// --- planted bugs ---
+
+func DoubleFree(p *Pool, m *Message) {
+	p.Free(m)
+	p.Free(m) // want "already be freed"
+}
+
+func MaybeDoubleFree(p *Pool, m *Message, cond bool) {
+	if cond {
+		p.Free(m)
+	}
+	p.Free(m) // want "already be freed"
+}
+
+func UseAfterFree(p *Pool, m *Message) uint64 {
+	p.Free(m)
+	return m.Value // want "after Free"
+}
+
+func Leak(p *Pool, cond bool) {
+	m := p.Get() // want "may leak"
+	if cond {
+		p.Free(m)
+	}
+}
+
+func FreeSometimes(p *Pool, m *Message, cond bool) {
+	if cond {
+		p.Free(m)
+		return
+	}
+} // want "freed on some paths"
+
+// --- clean ownership patterns ---
+
+// FreeEachPath frees exactly once on every terminal path.
+func FreeEachPath(p *Pool, m *Message, cond bool) {
+	if cond {
+		m.Value++
+		p.Free(m)
+		return
+	}
+	p.Free(m)
+}
+
+// BranchFree frees once in each arm; the merged state is freed, not
+// owned, so neither a leak nor a double free.
+func BranchFree(p *Pool, m *Message, cond bool) {
+	if cond {
+		p.Free(m)
+	} else {
+		p.Free(m)
+	}
+}
+
+// Handoff transfers ownership to another consumer; tracking ends there.
+func Handoff(s *Sender, m *Message) {
+	s.Send(m)
+}
+
+// AllocAndSend is the sender side of the real protocol: allocate, fill,
+// hand off.
+func AllocAndSend(p *Pool, s *Sender) {
+	m := p.Get()
+	m.Value = 42
+	s.Send(m)
+}
+
+// ClosureFree hands the message to a scheduled closure which frees it —
+// the dominant pattern in the mesi/vips handlers. The closure is
+// analyzed as its own unit and must also be clean.
+func ClosureFree(p *Pool, m *Message, sched func(func())) {
+	m.Value = 1
+	sched(func() { p.Free(m) })
+}

@@ -1,0 +1,13 @@
+package obsreadonly_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obsreadonly"
+)
+
+func TestObsReadonly(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "obs"),
+		obsreadonly.Analyzer, "repro/internal/machine/fixture")
+}

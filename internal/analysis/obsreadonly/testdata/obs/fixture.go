@@ -1,0 +1,61 @@
+// Package fixture plants simulator-state writes inside observer hooks
+// beside the read-and-emit pattern the tracing layer actually uses. The
+// harness checks it under repro/internal/machine/fixture, so the types
+// declared here count as simulator-core types.
+package fixture
+
+// Machine stands in for a simulator component with an observer hook.
+type Machine struct {
+	Cycles   uint64
+	counts   map[string]int
+	observer func(uint64)
+}
+
+func (m *Machine) SetObserver(fn func(uint64)) { m.observer = fn }
+
+func (m *Machine) bump() { m.Cycles++ }
+
+func (m Machine) Read() uint64 { return m.Cycles }
+
+var sequence int
+
+// --- planted writes ---
+
+func InstallBad(m *Machine) {
+	m.SetObserver(func(c uint64) {
+		m.Cycles = c          // want "writes field Cycles"
+		m.Cycles++            // want "writes field Cycles"
+		delete(m.counts, "x") // want "writes field counts"
+		sequence++            // want "package-level variable sequence"
+		m.bump()              // want "pointer-receiver method bump"
+	})
+}
+
+// InstallTransitive hides the write one call deep: the analyzer follows
+// same-package callees reachable from the hook.
+func InstallTransitive(m *Machine) {
+	m.SetObserver(func(c uint64) {
+		record(m, c)
+	})
+}
+
+func record(m *Machine, c uint64) {
+	m.Cycles = c // want "writes field Cycles"
+}
+
+// InstallNamed registers a named function instead of a literal.
+func InstallNamed(m *Machine) {
+	m.SetObserver(observerFn)
+}
+
+func observerFn(c uint64) {
+	sequence = int(c) // want "package-level variable sequence"
+}
+
+// --- the sanctioned pattern: read state, emit to a sink ---
+
+func InstallClean(m *Machine, emit func(uint64)) {
+	m.SetObserver(func(c uint64) {
+		emit(c + m.Read())
+	})
+}

@@ -186,6 +186,7 @@ func (d *Directory) Tag(addr memtypes.Addr) memtypes.Addr { return d.tag(addr) }
 
 // tag returns the directory tag for addr under the configured
 // granularity.
+//cbsim:hotpath
 func (d *Directory) tag(addr memtypes.Addr) memtypes.Addr {
 	if d.lineGranular {
 		return addr.Line()
@@ -211,6 +212,7 @@ func (d *Directory) Live() int {
 	return n
 }
 
+//cbsim:hotpath
 func (d *Directory) find(addr memtypes.Addr) *entry {
 	w := d.tag(addr)
 	for i := range d.entries {
@@ -276,6 +278,7 @@ func (d *Directory) install(addr memtypes.Addr) (*entry, *Eviction) {
 // core on addr. Only callback reads install entries. The returned
 // eviction, if non-nil, lists waiters on a displaced entry that the
 // caller must answer with the current (stale) value.
+//cbsim:hotpath
 func (d *Directory) CallbackRead(core int, addr memtypes.Addr) (ReadResult, *Eviction) {
 	d.checkCore(core)
 	d.stats.Reads++
@@ -314,6 +317,7 @@ func (d *Directory) CallbackRead(core int, addr memtypes.Addr) (ReadResult, *Evi
 // core on addr: the non-blocking callback of Section 3.3. It consumes an
 // available value (resetting F/E state) but never blocks and never
 // installs an entry.
+//cbsim:hotpath
 func (d *Directory) ReadThrough(core int, addr memtypes.Addr) {
 	d.checkCore(core)
 	e := d.find(addr)
@@ -347,6 +351,7 @@ func (d *Directory) ReadThrough(core int, addr memtypes.Addr) {
 //   - CBZero (st_cb0): sets One mode and wakes nobody, leaving F/E state
 //     to be consumed by a future release (the successful-RMW
 //     optimization of Figure 6).
+//cbsim:hotpath
 func (d *Directory) Write(addr memtypes.Addr, mode memtypes.CBWrite) []int {
 	e := d.find(addr)
 	if e == nil {
@@ -386,6 +391,10 @@ func (d *Directory) Write(addr memtypes.Addr, mode memtypes.CBWrite) []int {
 		// by the woken callback (Figure 4, step 9).
 		e.setAllFE(false)
 		d.stats.Wakes++
+		// The wake list is handed to a scheduled closure, so a reusable
+		// scratch buffer would alias across cycles; CBAll builds its
+		// list with append the same way.
+		//cbvet:alloc-ok wake list escapes to a scheduled closure
 		return []int{victim}
 
 	case memtypes.CBZero:
@@ -402,6 +411,7 @@ func (d *Directory) Write(addr memtypes.Addr, mode memtypes.CBWrite) []int {
 }
 
 // pickWake returns the waiter to service for a write_CB1, or -1 if none.
+//cbsim:hotpath
 func (d *Directory) pickWake(e *entry) int {
 	switch d.policy {
 	case WakeRoundRobin:

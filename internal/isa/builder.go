@@ -2,6 +2,7 @@ package isa
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/memtypes"
 )
@@ -233,11 +234,19 @@ func (b *Builder) SyncEnd(kind SyncKind) *Builder {
 func (b *Builder) Done() *Builder { return b.emit(Instr{Op: Done}) }
 
 // Build resolves labels and returns the program. Unresolved labels are an
-// error.
+// error; with several unresolved labels the one at the lowest instruction
+// index is reported, deterministically.
 func (b *Builder) Build() (*Program, error) {
 	ins := make([]Instr, len(b.ins))
 	copy(ins, b.ins)
-	for idx, label := range b.fixups {
+	idxs := make([]int, 0, len(b.fixups))
+	//cbvet:unordered keys are sorted before use
+	for idx := range b.fixups {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		label := b.fixups[idx]
 		target, ok := b.labels[label]
 		if !ok {
 			return nil, fmt.Errorf("isa: undefined label %q at instruction %d", label, idx)

@@ -37,6 +37,26 @@ func TestBuilderUndefinedLabel(t *testing.T) {
 	}
 }
 
+// TestBuilderUndefinedLabelDeterministic pins the error-reporting order:
+// with several unresolved labels, Build must always name the one at the
+// lowest instruction index, not whichever the fixup map yields first.
+func TestBuilderUndefinedLabelDeterministic(t *testing.T) {
+	const want = `isa: undefined label "missing0" at instruction 0`
+	for i := 0; i < 32; i++ {
+		b := NewBuilder()
+		for j := 0; j < 8; j++ {
+			b.Jmp("missing" + string(rune('0'+j)))
+		}
+		_, err := b.Build()
+		if err == nil {
+			t.Fatal("expected error for undefined labels")
+		}
+		if err.Error() != want {
+			t.Fatalf("iteration %d: error = %q, want %q", i, err, want)
+		}
+	}
+}
+
 func TestBuilderRedefinedLabelPanics(t *testing.T) {
 	b := NewBuilder()
 	b.Label("x")

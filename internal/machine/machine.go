@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -267,10 +268,17 @@ func (m *Machine) ObserveMetrics(sm *obs.SimMetrics) {
 }
 
 // Load assigns a program to core n with initial register values, starting
-// at cycle 0.
+// at cycle 0. Registers are applied in sorted order so the core's
+// register-write sequence is identical run to run.
 func (m *Machine) Load(n int, prog *isa.Program, regs map[isa.Reg]uint64) {
-	for r, v := range regs {
-		m.Cores[n].SetReg(r, v)
+	keys := make([]isa.Reg, 0, len(regs))
+	//cbvet:unordered keys are sorted before use
+	for r := range regs {
+		keys = append(keys, r)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, r := range keys {
+		m.Cores[n].SetReg(r, regs[r])
 	}
 	m.Cores[n].Run(prog, 0)
 	m.loaded++

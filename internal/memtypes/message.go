@@ -86,6 +86,7 @@ type Message struct {
 }
 
 // Flits returns the message size in flits.
+//cbsim:hotpath
 func (m *Message) Flits() int {
 	if m.Class == ClassWordData && m.Words > 1 {
 		return 1 + (m.Words+1)/2
@@ -106,6 +107,7 @@ type MsgPool struct {
 }
 
 // Get returns a zeroed message, reusing a freed one when available.
+//cbsim:hotpath
 func (p *MsgPool) Get() *Message {
 	if n := len(p.free); n > 0 {
 		m := p.free[n-1]
@@ -113,11 +115,13 @@ func (p *MsgPool) Get() *Message {
 		p.free = p.free[:n-1]
 		return m
 	}
+	//cbvet:alloc-ok pool-growth path; steady state reuses freed messages
 	return &Message{}
 }
 
 // Put returns msg to the pool, zeroing it. The caller must not retain
 // msg afterwards: the next Get may hand it out again.
+//cbsim:hotpath
 func (p *MsgPool) Put(msg *Message) {
 	*msg = Message{}
 	p.free = append(p.free, msg)

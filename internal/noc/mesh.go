@@ -79,6 +79,10 @@ type Mesh struct {
 	// ideal disables link contention and serialization: messages
 	// arrive after pure distance latency (ablation mode).
 	ideal bool
+
+	// dbg carries the double-free guard state; it is an empty struct
+	// unless built with -tags cbsimdebug (see mesh_debug.go).
+	dbg meshDebug
 }
 
 // New builds a width x height mesh on kernel k with default latencies.
@@ -167,11 +171,15 @@ func (m *Mesh) VisitLinkBusy(fn func(node memtypes.NodeID, busy uint64)) {
 // NewMessage returns a zeroed message from the mesh's free list. Senders
 // fill it and pass it to Send; the node that finally consumes it returns
 // it with Free.
-func (m *Mesh) NewMessage() *memtypes.Message { return m.pool.Get() }
+//cbsim:hotpath
+func (m *Mesh) NewMessage() *memtypes.Message { return m.getMessage() }
 
 // Free recycles a message once its final consumer is done with it. The
-// caller must not retain msg (or schedule work referencing it) afterwards.
-func (m *Mesh) Free(msg *memtypes.Message) { m.pool.Put(msg) }
+// caller must not retain msg (or schedule work referencing it) afterwards:
+// the pool may reissue it to any later sender. Builds with -tags
+// cbsimdebug panic on a double Free and poison freed messages so stale
+// readers fail loudly instead of silently corrupting protocol state.
+func (m *Mesh) Free(msg *memtypes.Message) { m.putMessage(msg) }
 
 func (m *Mesh) check(n memtypes.NodeID) int {
 	if int(n) < 0 || int(n) >= len(m.handlers) {
@@ -199,6 +207,7 @@ func (m *Mesh) HopCount(src, dst memtypes.NodeID) int {
 // Send injects msg into the network. The destination handler's Deliver is
 // invoked when the message arrives. Sends to the local node bypass the
 // network with a fixed small latency and are not counted as traffic.
+//cbsim:hotpath
 func (m *Mesh) Send(msg *memtypes.Message) {
 	m.check(msg.Src)
 	m.check(msg.Dst)
@@ -225,12 +234,14 @@ func (m *Mesh) Send(msg *memtypes.Message) {
 // forwarding it one more hop or delivering it. Scheduling the mesh itself
 // as the actor (with the message as payload) makes per-hop routing free of
 // closure allocations.
+//cbsim:hotpath
 func (m *Mesh) Act(data any, arg uint64) {
 	m.hop(data.(*memtypes.Message), memtypes.NodeID(arg))
 }
 
 // hop routes msg one step from node at, scheduling the arrival at the next
 // router (or the final delivery).
+//cbsim:hotpath
 func (m *Mesh) hop(msg *memtypes.Message, at memtypes.NodeID) {
 	if at == msg.Dst {
 		m.deliver(msg)
@@ -270,6 +281,7 @@ func (m *Mesh) hop(msg *memtypes.Message, at memtypes.NodeID) {
 	m.k.AtActor(arrive, m, msg, uint64(next))
 }
 
+//cbsim:hotpath
 func (m *Mesh) deliver(msg *memtypes.Message) {
 	if m.observer != nil {
 		m.observer(m.k.Now(), msg, "deliver")

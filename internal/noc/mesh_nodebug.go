@@ -1,0 +1,15 @@
+//go:build !cbsimdebug
+
+package noc
+
+import "repro/internal/memtypes"
+
+// meshDebug is empty in release builds: the double-free guard lives in
+// mesh_debug.go behind -tags cbsimdebug and costs nothing here.
+type meshDebug struct{}
+
+//cbsim:hotpath
+func (m *Mesh) getMessage() *memtypes.Message { return m.pool.Get() }
+
+//cbsim:hotpath
+func (m *Mesh) putMessage(msg *memtypes.Message) { m.pool.Put(msg) }

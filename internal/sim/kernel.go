@@ -78,12 +78,14 @@ func (k *Kernel) Pending() int { return len(k.pq) }
 
 // Schedule runs fn delay cycles from now. A delay of zero fires later in
 // the current cycle, after all previously scheduled events for this cycle.
+//cbsim:hotpath
 func (k *Kernel) Schedule(delay uint64, fn func()) {
 	k.At(k.now+delay, fn)
 }
 
 // At runs fn at the absolute cycle when. Scheduling in the past panics:
 // it is always a simulator bug.
+//cbsim:hotpath
 func (k *Kernel) At(when uint64, fn func()) {
 	if fn == nil {
 		panic("sim: nil event function")
@@ -93,11 +95,13 @@ func (k *Kernel) At(when uint64, fn func()) {
 
 // ScheduleActor runs a.Act(data, arg) delay cycles from now. It is the
 // allocation-free counterpart of Schedule: no closure is created.
+//cbsim:hotpath
 func (k *Kernel) ScheduleActor(delay uint64, a Actor, data any, arg uint64) {
 	k.AtActor(k.now+delay, a, data, arg)
 }
 
 // AtActor runs a.Act(data, arg) at the absolute cycle when.
+//cbsim:hotpath
 func (k *Kernel) AtActor(when uint64, a Actor, data any, arg uint64) {
 	if a == nil {
 		panic("sim: nil event actor")
@@ -106,6 +110,7 @@ func (k *Kernel) AtActor(when uint64, a Actor, data any, arg uint64) {
 }
 
 // push inserts an event, assigning its sequence number, and sifts it up.
+//cbsim:hotpath
 func (k *Kernel) push(e event) {
 	if e.when < k.now {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", e.when, k.now))
@@ -126,6 +131,7 @@ func (k *Kernel) push(e event) {
 
 // pop removes and returns the earliest event, zeroing the vacated slot so
 // the popped closure (and anything it captures) stays collectable.
+//cbsim:hotpath
 func (k *Kernel) pop() event {
 	h := k.pq
 	top := h[0]
@@ -154,6 +160,7 @@ func (k *Kernel) pop() event {
 // stepOne pops and fires the earliest event, advancing the clock to its
 // time. The caller must ensure the queue is non-empty. It is the single
 // shared pop-loop body of Step, Run, and RunUntil.
+//cbsim:hotpath
 func (k *Kernel) stepOne() {
 	e := k.pop()
 	k.now = e.when
@@ -167,6 +174,7 @@ func (k *Kernel) stepOne() {
 
 // Step fires the single earliest pending event and advances the clock to
 // its time. It reports false if no events are pending.
+//cbsim:hotpath
 func (k *Kernel) Step() bool {
 	if len(k.pq) == 0 {
 		return false

@@ -479,6 +479,7 @@ func (b *Bank) ack(msg *memtypes.Message) {
 // callback directory (tests and deadlock diagnostics).
 func (b *Bank) Parked() int {
 	n := 0
+	//cbvet:unordered commutative sum over parked sets
 	for _, m := range b.parked {
 		n += len(m)
 	}
