@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet vet-cb race test-debug bench bench-snapshot ci figures
+.PHONY: all build test vet vet-cb race test-debug bench bench-snapshot ci figures fuzz chaos-litmus
 
 all: build
 
@@ -38,6 +38,21 @@ bench:
 # and allocs/op, simulated-cycles-per-second) for CI to archive per PR.
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -o BENCH_pr.json
+
+# fuzz runs the callback-directory differential fuzzer (real directory
+# vs. an unbounded reference model) for a bounded session. CI runs a
+# short smoke; use FUZZTIME=5m locally for a real hunt.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz FuzzDirectory -fuzztime $(FUZZTIME) ./internal/core/
+
+# chaos-litmus is the fault-injection gate: the chaos sweep (litmus
+# programs and sync kernels under the fault matrix at fixed seeds must
+# match their fault-free outcomes), the eviction-storm litmus tests, and
+# the machine-level watchdog/invariant tests.
+chaos-litmus:
+	$(GO) test -count=1 -run 'TestRunChaos|Storm|TestWatchdog|TestCheckInvariants|TestChaosConfig' \
+		./internal/experiments/ ./internal/litmus/ ./internal/machine/
 
 # ci is the full gate: vet (stock + project analyzers), build,
 # race-enabled tests, the cbsimdebug tagged tests, a single-shot

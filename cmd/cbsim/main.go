@@ -4,7 +4,16 @@
 // Usage:
 //
 //	cbsim [-bench name] [-setup name] [-cores N] [-style scalable|naive] [-entries N]
-//	      [-trace N] [-trace-chrome out.json]
+//	      [-trace N] [-trace-chrome out.json] [-chaos spec] [-seed N] [-watchdog N]
+//
+// -chaos enables the deterministic fault-injection layer (message
+// delays, eviction storms, spurious wakes, LLC jitter — see
+// internal/chaos for the spec grammar, e.g. "all" or
+// "noc-delay=0.01,evict-storm=0.05"). -seed picks the fault stream;
+// the same spec and seed replay the same faults. A chaos run arms the
+// liveness watchdog automatically (override with -watchdog, 0
+// disables); if the run deadlocks or the watchdog fires, cbsim prints a
+// per-core dump of where every core is stuck.
 //
 // -trace-chrome writes the whole run as Chrome trace-event JSON: open it
 // in chrome://tracing or https://ui.perfetto.dev to see per-tile
@@ -18,6 +27,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +37,7 @@ import (
 	"syscall"
 	"text/tabwriter"
 
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 	"repro/internal/isa"
 	"repro/internal/machine"
@@ -42,6 +53,9 @@ func main() {
 	entries := flag.Int("entries", 4, "callback directory entries per bank")
 	traceN := flag.Int("trace", 0, "print the last N protocol/network trace events")
 	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace-event JSON file (view in chrome://tracing or Perfetto)")
+	chaosSpec := flag.String("chaos", "", "fault-injection spec (e.g. all, or noc-delay=0.01,evict-storm=0.05; empty/off = disabled)")
+	seed := flag.Uint64("seed", 1, "fault-injection seed (same spec+seed replays the same faults)")
+	watchdog := flag.Uint64("watchdog", 0, "liveness watchdog window in cycles (0 = default: armed only under -chaos)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -64,13 +78,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cbsim:", err)
 		os.Exit(1)
 	}
-	if err := run(*bench, *setupName, *cores, *style, *entries, *traceN, *traceChrome); err != nil {
+	if err := run(*bench, *setupName, *cores, *style, *entries, *traceN, *traceChrome, *chaosSpec, *seed, *watchdog); err != nil {
+		// A liveness failure carries a per-core dump: print where every
+		// core was stuck, not just that the run made no progress.
+		var npe *machine.NoProgressError
+		if errors.As(err, &npe) {
+			fmt.Fprintln(os.Stderr, npe.Dump())
+		}
 		fmt.Fprintln(os.Stderr, "cbsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, setupName string, cores int, style string, entries, traceN int, chromePath string) error {
+func run(bench, setupName string, cores int, style string, entries, traceN int, chromePath, chaosSpec string, seed, watchdog uint64) error {
 	p, err := workload.ByName(bench)
 	if err != nil {
 		return err
@@ -91,7 +111,18 @@ func run(bench, setupName string, cores int, style string, entries, traceN int, 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	var ring *trace.Ring
-	opts := experiments.Options{Cores: cores, CBEntries: entries, Context: ctx}
+	opts := experiments.Options{Cores: cores, CBEntries: entries, Context: ctx, Watchdog: watchdog}
+	spec, err := chaos.Parse(chaosSpec)
+	if err != nil {
+		return err
+	}
+	if spec.Active() {
+		opts.Chaos = spec
+		opts.ChaosSeed = seed
+		if watchdog == 0 {
+			opts.Watchdog = machine.DefaultWatchdogWindow
+		}
+	}
 	var sinks trace.Multi
 	if traceN > 0 {
 		ring = trace.NewRing(traceN)
@@ -146,6 +177,11 @@ func run(bench, setupName string, cores int, style string, entries, traceN int, 
 	if s.CBDirAccesses > 0 {
 		fmt.Fprintf(w, "callback dir\t%d accesses, %d installs, %d evictions, %d wakes (%d stale)\n",
 			s.CBDirAccesses, s.CBInstalls, s.CBEvictions, s.CBWakes, s.CBStaleWakes)
+	}
+	if spec.Active() {
+		c := s.Chaos
+		fmt.Fprintf(w, "chaos (seed %d)\t%d delayed msgs (%d+%d cycles), %d forced evictions, %d spurious wakes, %d wake-delay cycles, %d LLC-jitter cycles\n",
+			seed, c.NoCDelays, c.NoCDelayCycles, c.HopJitterCycles, c.ForcedEvictions, c.SpuriousWakes, c.WakeDelayCycles, c.LLCJitterCycles)
 	}
 	fmt.Fprintf(w, "backoff stall\t%d cycles\n", s.BackoffCycles)
 	for k := isa.SyncAcquire; k < isa.NumSyncKinds; k++ {

@@ -9,7 +9,7 @@
 //
 //	cbsimd [-addr :8347] [-workers N] [-queue N] [-cache-mb N]
 //	       [-parallel N] [-job-timeout D] [-drain-timeout D] [-salt S]
-//	       [-pprof]
+//	       [-journal FILE] [-pprof]
 //
 // API:
 //
@@ -27,12 +27,19 @@
 // On SIGTERM/SIGINT the daemon drains gracefully: running cells finish,
 // queued jobs fail with a retryable status, and the process exits 0
 // within the drain timeout.
+//
+// With -journal, accepted jobs are recorded in an append-only NDJSON
+// journal before the client sees 202; on boot, jobs without a terminal
+// record (queued or running when the previous process died) are
+// re-enqueued under their original IDs — so the daemon survives crashes
+// and kill -9 without losing accepted work.
 package main
 
 import (
 	"context"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -53,19 +60,24 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 30*time.Minute, "per-job deadline, queue wait included (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "graceful-drain budget on SIGTERM")
 	salt := flag.String("salt", service.DefaultVersionSalt, "cache version salt (bump to invalidate cached results)")
+	journal := flag.String("journal", "", "crash-consistent job journal file (empty = jobs do not survive restarts)")
 	pprofOn := flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "cbsimd: ", log.LstdFlags|log.Lmsgprefix)
-	svc := service.New(service.Config{
+	svc, err := service.New(service.Config{
 		Workers:     *workers,
 		QueueDepth:  *queue,
 		CacheBytes:  *cacheMB << 20,
 		Parallelism: *parallel,
 		JobTimeout:  *jobTimeout,
 		VersionSalt: *salt,
+		JournalPath: *journal,
 		Logf:        logger.Printf,
 	})
+	if err != nil {
+		logger.Fatalf("startup: %v", err)
+	}
 
 	handler := svc.Handler()
 	if *pprofOn {
@@ -83,7 +95,6 @@ func main() {
 	}
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
@@ -95,11 +106,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
+	// Listen explicitly so ":0" resolves to a concrete port before the
+	// "listening on" line — test harnesses (and humans) read the bound
+	// address from the log.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		logger.Printf("listening on %s (%d workers, queue %d, cache %d MiB)",
-			*addr, *workers, *queue, *cacheMB)
-		errCh <- httpSrv.ListenAndServe()
+			ln.Addr(), *workers, *queue, *cacheMB)
+		errCh <- httpSrv.Serve(ln)
 	}()
 
 	select {

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestKillDashNineRecovery is the crash-consistency acceptance test: a
+// daemon with a journal is killed with SIGKILL while jobs are queued and
+// running, restarted on the same journal, and must recover every
+// accepted job to completion. On failure the journal is copied to
+// $CBSIMD_JOURNAL_ARTIFACT_DIR (when set) for CI artifact upload.
+func TestKillDashNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real daemon")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "cbsimd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cbsimd: %v\n%s", err, out)
+	}
+	journal := filepath.Join(dir, "journal.ndjson")
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		if art := os.Getenv("CBSIMD_JOURNAL_ARTIFACT_DIR"); art != "" {
+			if data, err := os.ReadFile(journal); err == nil {
+				os.MkdirAll(art, 0o755)
+				os.WriteFile(filepath.Join(art, "journal.ndjson"), data, 0o644)
+				t.Logf("journal preserved at %s", filepath.Join(art, "journal.ndjson"))
+			}
+		} else if data, err := os.ReadFile(journal); err == nil {
+			t.Logf("journal contents:\n%s", data)
+		}
+	})
+
+	// First life, single worker at parallelism 1: a 38-cell sweep
+	// (all benchmarks x two callback setups, seconds of wall clock) pins
+	// the worker, then two quick jobs queue behind it. SIGKILL lands
+	// while all three are unfinished.
+	proc1, url1 := startDaemon(t, bin, journal, "1")
+	sweep := submitJob(t, url1, service.JobRequest{Setups: []string{"CB-One", "CB-All"}, Cores: 64})
+	waitForState(t, url1, sweep, service.StateRunning, 30*time.Second)
+	quick1 := submitJob(t, url1, service.JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4})
+	quick2 := submitJob(t, url1, service.JobRequest{Benchmark: "lu", Setup: "CB-All", Cores: 4})
+	ids := []string{sweep, quick1, quick2}
+	if err := proc1.Process.Kill(); err != nil { // SIGKILL: no drain, no cleanup
+		t.Fatal(err)
+	}
+	proc1.Wait()
+
+	// The journal must hold a submit record for every accepted job. Any
+	// job without a terminal record must be recovered by the second life;
+	// a job that the first life managed to finish may legitimately be
+	// absent after restart.
+	submitted, finished := readJournalOps(t, journal)
+	for _, id := range ids {
+		if !submitted[id] {
+			t.Fatalf("journal lost accepted job %s", id)
+		}
+	}
+	if finished[sweep] {
+		t.Fatalf("sweep job finished before kill; test did not exercise recovery")
+	}
+
+	// Second life: same journal, unfinished jobs must come back and run
+	// to completion under their original IDs. More parallelism so the
+	// re-run of the sweep finishes well inside the deadline.
+	proc2, url2 := startDaemon(t, bin, journal, "8")
+	defer func() {
+		proc2.Process.Kill()
+		proc2.Wait()
+	}()
+	for _, id := range ids {
+		if finished[id] {
+			continue
+		}
+		if _, ok := jobStatus(t, url2, id); !ok {
+			t.Fatalf("job %s lost across restart", id)
+		}
+		waitForState(t, url2, id, service.StateDone, 120*time.Second)
+	}
+
+	// Fresh submissions continue the ID sequence past the recovered jobs.
+	next := submitJob(t, url2, service.JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4})
+	for _, id := range ids {
+		if next == id {
+			t.Fatalf("post-restart job reused recovered ID %s", id)
+		}
+	}
+}
+
+// readJournalOps parses the NDJSON journal (tolerating a torn final
+// line, exactly as the daemon does) into the sets of submitted and
+// finished job IDs.
+func readJournalOps(t *testing.T, path string) (submitted, finished map[string]bool) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitted = make(map[string]bool)
+	finished = make(map[string]bool)
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec struct {
+			Op string `json:"op"`
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i >= len(lines)-2 {
+				continue // torn tail from the kill
+			}
+			t.Fatalf("journal line %d corrupt: %v", i+1, err)
+		}
+		switch rec.Op {
+		case "submit":
+			submitted[rec.ID] = true
+		case "done":
+			finished[rec.ID] = true
+		}
+	}
+	return submitted, finished
+}
+
+// waitForState polls a job until it reaches want, failing on any other
+// terminal state.
+func waitForState(t *testing.T, url, id, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, ok := jobStatus(t, url, id)
+		if !ok {
+			t.Fatalf("job %s not found while waiting for %s", id, want)
+		}
+		if st.State == want {
+			return
+		}
+		if st.State != service.StateQueued && st.State != service.StateRunning {
+			t.Fatalf("job %s reached %q (err %q), want %s", id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want %s", id, st.State, want)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// startDaemon launches the built binary on a fresh port with the shared
+// journal and returns its process and base URL (parsed from the
+// "listening on" log line).
+func startDaemon(t *testing.T, bin, journal, parallel string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-workers", "1",
+		"-parallel", parallel,
+		"-queue", "16",
+		"-journal", journal,
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			t.Logf("cbsimd: %s", line)
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		url := "http://" + addr
+		// Wait for the API to answer.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(url + "/healthz")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				return cmd, url
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon at %s never became healthy: %v", addr, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon never logged its listen address")
+	}
+	return nil, ""
+}
+
+func submitJob(t *testing.T, url string, req service.JobRequest) string {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit = %d: %s", resp.StatusCode, data)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.ID
+}
+
+func jobStatus(t *testing.T, url, id string) (service.JobStatus, bool) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", url, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return service.JobStatus{}, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %s = %d: %s", id, resp.StatusCode, data)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st, true
+}

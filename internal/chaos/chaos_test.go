@@ -1,0 +1,165 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// Same seed must replay the same fault schedule; different seeds must not.
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: %d != %d with equal seeds", i, x, y)
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 42 and 43 collided on %d/100 draws", same)
+	}
+}
+
+func TestRandUniformity(t *testing.T) {
+	r := NewRand(7)
+	var buckets [8]int
+	const n = 8000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(8)]++
+	}
+	for i, c := range buckets {
+		if c < n/8-n/16 || c > n/8+n/16 {
+			t.Fatalf("bucket %d: %d draws, expected ~%d", i, c, n/8)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	specs := []string{
+		"noc-delay=0.1,noc-delay-max=32,hop-jitter=3",
+		"evict-storm=0.05,spurious-wake=0.01,wake-delay=4",
+		"cb-capacity=1,cb-evict-lru",
+		"llc-jitter=6",
+	}
+	for _, s := range specs {
+		spec, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		again, err := Parse(spec.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = Parse(%q): %v", s, spec.String(), err)
+		}
+		if *again != *spec {
+			t.Fatalf("round trip of %q changed spec: %+v vs %+v", s, spec, again)
+		}
+	}
+}
+
+func TestParsePresets(t *testing.T) {
+	for _, name := range Presets() {
+		spec, err := Parse(name)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if !spec.Active() {
+			t.Fatalf("preset %q parsed to an inactive spec", name)
+		}
+	}
+	// Later elements override presets.
+	spec, err := Parse("squeeze,cb-capacity=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.CBCapacity != 2 || !spec.CBEvictLRU {
+		t.Fatalf("squeeze,cb-capacity=2 = %+v", spec)
+	}
+}
+
+func TestParseOffAndErrors(t *testing.T) {
+	for _, s := range []string{"", "off"} {
+		spec, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if spec.Active() {
+			t.Fatalf("Parse(%q) active: %+v", s, spec)
+		}
+		if got := spec.String(); got != "off" {
+			t.Fatalf("inactive String() = %q, want off", got)
+		}
+	}
+	for _, s := range []string{"bogus", "noc-delay=2", "evict-storm=x", "cb-capacity=0", "noc-delay"} {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+// The engine's draws must be a pure function of (spec, seed).
+func TestEngineDeterminism(t *testing.T) {
+	spec, err := Parse("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed uint64) []uint64 {
+		e := NewEngine(*spec, seed)
+		var out []uint64
+		for i := 0; i < 500; i++ {
+			out = append(out, e.SendDelay(), e.HopJitter(), e.WakeDelay(), e.LLCJitter())
+			if p, ok := e.ForcedEviction(); ok {
+				out = append(out, uint64(p))
+			}
+			if e.SpuriousWake() {
+				out = append(out, 1)
+			}
+		}
+		return out
+	}
+	a, b := run(5), run(5)
+	if len(a) != len(b) {
+		t.Fatalf("replay length mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %d != %d with equal (spec, seed)", i, a[i], b[i])
+		}
+	}
+	s := NewEngine(*spec, 5)
+	for i := 0; i < 500; i++ {
+		s.SendDelay()
+		s.HopJitter()
+		s.ForcedEviction()
+		s.SpuriousWake()
+		s.WakeDelay()
+		s.LLCJitter()
+	}
+	st := s.Stats()
+	if st.NoCDelays == 0 || st.HopJitterCycles == 0 || st.ForcedEvictions == 0 ||
+		st.SpuriousWakes == 0 || st.WakeDelayCycles == 0 || st.LLCJitterCycles == 0 {
+		t.Fatalf("preset all never fired some site: %+v", st)
+	}
+}
+
+// An inactive engine draws nothing and counts nothing.
+func TestEngineInactive(t *testing.T) {
+	e := NewEngine(Spec{}, 1)
+	for i := 0; i < 100; i++ {
+		if e.SendDelay() != 0 || e.HopJitter() != 0 || e.WakeDelay() != 0 || e.LLCJitter() != 0 {
+			t.Fatal("inactive engine injected a delay")
+		}
+		if _, ok := e.ForcedEviction(); ok {
+			t.Fatal("inactive engine forced an eviction")
+		}
+		if e.SpuriousWake() {
+			t.Fatal("inactive engine fired a spurious wake")
+		}
+	}
+	if e.Stats() != (Stats{}) {
+		t.Fatalf("inactive engine counted faults: %+v", e.Stats())
+	}
+}

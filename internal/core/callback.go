@@ -186,6 +186,7 @@ func (d *Directory) Tag(addr memtypes.Addr) memtypes.Addr { return d.tag(addr) }
 
 // tag returns the directory tag for addr under the configured
 // granularity.
+//
 //cbsim:hotpath
 func (d *Directory) tag(addr memtypes.Addr) memtypes.Addr {
 	if d.lineGranular {
@@ -278,6 +279,7 @@ func (d *Directory) install(addr memtypes.Addr) (*entry, *Eviction) {
 // core on addr. Only callback reads install entries. The returned
 // eviction, if non-nil, lists waiters on a displaced entry that the
 // caller must answer with the current (stale) value.
+//
 //cbsim:hotpath
 func (d *Directory) CallbackRead(core int, addr memtypes.Addr) (ReadResult, *Eviction) {
 	d.checkCore(core)
@@ -317,6 +319,7 @@ func (d *Directory) CallbackRead(core int, addr memtypes.Addr) (ReadResult, *Evi
 // core on addr: the non-blocking callback of Section 3.3. It consumes an
 // available value (resetting F/E state) but never blocks and never
 // installs an entry.
+//
 //cbsim:hotpath
 func (d *Directory) ReadThrough(core int, addr memtypes.Addr) {
 	d.checkCore(core)
@@ -351,6 +354,7 @@ func (d *Directory) ReadThrough(core int, addr memtypes.Addr) {
 //   - CBZero (st_cb0): sets One mode and wakes nobody, leaving F/E state
 //     to be consumed by a future release (the successful-RMW
 //     optimization of Figure 6).
+//
 //cbsim:hotpath
 func (d *Directory) Write(addr memtypes.Addr, mode memtypes.CBWrite) []int {
 	e := d.find(addr)
@@ -411,6 +415,7 @@ func (d *Directory) Write(addr memtypes.Addr, mode memtypes.CBWrite) []int {
 }
 
 // pickWake returns the waiter to service for a write_CB1, or -1 if none.
+//
 //cbsim:hotpath
 func (d *Directory) pickWake(e *entry) int {
 	switch d.policy {
@@ -461,6 +466,52 @@ func (d *Directory) SetWakePointer(addr memtypes.Addr, ptr int) {
 
 // HasEntry reports whether addr currently has a directory entry.
 func (d *Directory) HasEntry(addr memtypes.Addr) bool { return d.find(addr) != nil }
+
+// ForceEvict evicts the pick-th valid entry (in slot order, modulo the
+// live count), returning the eviction for the caller to answer — exactly
+// as if capacity pressure had displaced it. Returns nil when the
+// directory is empty. Fault injection uses this to assert the paper's
+// claim that evicting an entry — waiters included — is legal at any time.
+func (d *Directory) ForceEvict(pick int) *Eviction {
+	n := d.Live()
+	if n == 0 {
+		return nil
+	}
+	if pick < 0 {
+		pick = -pick
+	}
+	k := pick % n
+	for i := range d.entries {
+		e := &d.entries[i]
+		if !e.valid {
+			continue
+		}
+		if k > 0 {
+			k--
+			continue
+		}
+		d.stats.Evictions++
+		w := e.waiters()
+		d.stats.StaleWakes += uint64(len(w))
+		e.valid = false
+		return &Eviction{Addr: e.addr, Waiters: w}
+	}
+	return nil
+}
+
+// VisitEntries calls fn for every valid entry in slot order with the
+// entry's tag and live state. Unlike EntryState it does not touch the
+// LRU clock, so invariant checkers can observe the directory without
+// perturbing replacement decisions. fe and cb are the backing arrays:
+// fn must not retain or mutate them.
+func (d *Directory) VisitEntries(fn func(addr memtypes.Addr, fe, cb []bool, one bool)) {
+	for i := range d.entries {
+		e := &d.entries[i]
+		if e.valid {
+			fn(e.addr, e.fe, e.cb, e.one)
+		}
+	}
+}
 
 // EntryState returns a snapshot of addr's entry for tests and tracing.
 func (d *Directory) EntryState(addr memtypes.Addr) (fe, cb []bool, one, ok bool) {

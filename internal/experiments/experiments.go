@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/energy"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -123,6 +124,21 @@ type Options struct {
 	// directory occupancy, and per-link NoC utilization. The histograms
 	// are atomic, so one SimMetrics may be shared by parallel sweeps.
 	Metrics *obs.SimMetrics
+
+	// Chaos, when non-nil and active, runs every cell under the
+	// deterministic fault-injection layer seeded by ChaosSeed (see
+	// internal/chaos). Runtime invariant checks are enabled with it.
+	Chaos     *chaos.Spec
+	ChaosSeed uint64
+	// Watchdog, when nonzero, arms the machines' liveness watchdog: a
+	// run with no global progress for Watchdog cycles fails with
+	// machine.ErrNoProgress and a per-core dump.
+	Watchdog uint64
+
+	// postRun, when set, is called with the machine after a successful
+	// run, before Stats are collected (chaos sweeps quiesce the event
+	// queue, check final invariants, and snapshot memory here).
+	postRun func(m *machine.Machine, g *workload.Generated) error
 
 	// safe records that Logf and Trace have already been wrapped for
 	// concurrent use, so repeated fill calls do not stack mutexes.
@@ -279,6 +295,9 @@ func buildMachine(s Setup, o Options) *machine.Machine {
 	cfg.Cores = o.Cores
 	cfg.BackoffLimit = s.BackoffLimit
 	cfg.CBEntriesPerBank = o.CBEntries
+	cfg.Chaos = o.Chaos
+	cfg.ChaosSeed = o.ChaosSeed
+	cfg.Watchdog = o.Watchdog
 	return machine.New(cfg, synclib.IsPrivate)
 }
 
@@ -317,6 +336,11 @@ func runGenerated(g *workload.Generated, s Setup, o Options) (Result, error) {
 	}
 	if err != nil {
 		return Result{}, err
+	}
+	if o.postRun != nil {
+		if err := o.postRun(m, g); err != nil {
+			return Result{}, fmt.Errorf("%s under %s: %w", g.Profile.Name, s.Name, err)
+		}
 	}
 	if o.Metrics != nil {
 		m.ObserveMetrics(o.Metrics)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/memtypes"
 	"repro/internal/synclib"
 	"repro/internal/workload"
 )
@@ -37,7 +38,11 @@ func lockMicro(name string, mk func(*synclib.Layout, int) synclib.Lock) Micro {
 			lay := synclib.NewLayout()
 			lock := mk(lay, cores)
 			counter := lay.SharedLine()
-			g := &workload.Generated{Layout: lay, Flavor: f}
+			// The counter is the workload's observable datum; the
+			// lock's own words (CLH queue nodes especially) may end
+			// with order-dependent residue.
+			g := &workload.Generated{Layout: lay, Flavor: f,
+				Observe: []memtypes.Addr{counter}}
 			for tid := 0; tid < cores; tid++ {
 				rng := rand.New(rand.NewSource(int64(tid) + 42))
 				b := isa.NewBuilder()
@@ -73,7 +78,10 @@ func barrierMicro(name string, mk func(*synclib.Layout, int) synclib.Barrier) Mi
 			const episodes = 8
 			lay := synclib.NewLayout()
 			bar := mk(lay, cores)
-			g := &workload.Generated{Layout: lay, Flavor: f}
+			// Pure synchronization, no data: the outcome is the
+			// barrier-episode counts in Stats.
+			g := &workload.Generated{Layout: lay, Flavor: f,
+				Observe: []memtypes.Addr{}}
 			for tid := 0; tid < cores; tid++ {
 				rng := rand.New(rand.NewSource(int64(tid) + 7))
 				b := isa.NewBuilder()
@@ -106,7 +114,10 @@ func signalWaitMicro() Micro {
 			for i := 0; i < cores/2; i++ {
 				chans = append(chans, synclib.NewSignalWait(lay))
 			}
-			g := &workload.Generated{Layout: lay, Flavor: f}
+			// Pure synchronization, no data: the outcome is the
+			// wait-episode counts in Stats.
+			g := &workload.Generated{Layout: lay, Flavor: f,
+				Observe: []memtypes.Addr{}}
 			for tid := 0; tid < cores; tid++ {
 				rng := rand.New(rand.NewSource(int64(tid) + 99))
 				ch := chans[tid/2]

@@ -88,6 +88,19 @@ func Run(p Program, proto machine.Protocol, cores int) (Outcome, error) {
 	}
 	cfg := machine.Default(proto)
 	cfg.Cores = w * w
+	out, _, err := RunConfig(p, cfg)
+	return out, err
+}
+
+// RunConfig executes the program on a machine built from an explicit
+// configuration — the hook for ablations (directory capacity 1, forced
+// LRU eviction) and fault injection. It returns the machine alongside
+// the outcome so callers can check invariants and read Stats. cfg.Cores
+// must accommodate the program's threads.
+func RunConfig(p Program, cfg machine.Config) (Outcome, *machine.Machine, error) {
+	if cfg.Cores < len(p.Threads) {
+		return Outcome{}, nil, fmt.Errorf("litmus %s: %d cores < %d threads", p.Name, cfg.Cores, len(p.Threads))
+	}
 	m := machine.New(cfg, synclib.IsPrivate)
 	for a, v := range p.Init {
 		m.Store.StoreWord(a, v)
@@ -96,7 +109,7 @@ func Run(p Program, proto machine.Protocol, cores int) (Outcome, error) {
 		m.Load(tid, prog, nil)
 	}
 	if err := m.Run(200_000_000); err != nil {
-		return Outcome{}, fmt.Errorf("litmus %s under %v: %w", p.Name, proto, err)
+		return Outcome{}, m, fmt.Errorf("litmus %s under %v: %w", p.Name, cfg.Protocol, err)
 	}
 	var out Outcome
 	for _, a := range p.Observe {
@@ -105,7 +118,7 @@ func Run(p Program, proto machine.Protocol, cores int) (Outcome, error) {
 	for _, ro := range p.ObserveRegs {
 		out.Regs = append(out.Regs, m.Cores[ro.Thread].Reg(ro.Reg))
 	}
-	return out, nil
+	return out, m, nil
 }
 
 // randProgram builds a random DRF program for n threads: each thread
@@ -205,6 +218,28 @@ func randProgram(seed int64, threads int) Program {
 	prog.Expected = expect
 	return prog
 }
+
+// RandProgram generates the random DRF program for seed: a deterministic
+// mix of private compute, lock-protected counter increments, and barrier
+// phases whose final counter values are analytically known (Expected).
+// Call Encode to materialize the thread programs for a flavour before
+// running.
+func RandProgram(seed int64, threads int) Program {
+	return randProgram(seed, threads)
+}
+
+// Encode materializes p's thread programs for the given synchronization
+// flavour (generated programs re-encode their locks and barriers per
+// protocol). It is a no-op for hand-written programs with fixed threads.
+func (p *Program) Encode(f synclib.Flavor) {
+	if p.build != nil {
+		p.Threads = p.build(f)
+	}
+}
+
+// FlavorFor returns the synchronization flavour litmus uses for a
+// protocol (exported for chaos sweeps that re-encode RandPrograms).
+func FlavorFor(proto machine.Protocol) synclib.Flavor { return flavorFor(proto) }
 
 // RandCheck generates a random DRF program from seed and verifies that
 // every protocol produces the analytically expected counter values and

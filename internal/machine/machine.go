@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/isa"
@@ -85,6 +86,16 @@ type Config struct {
 	CBLineGranular bool
 	// IdealNoC disables network contention (ablation).
 	IdealNoC bool
+	// Chaos, when non-nil and active, enables the deterministic
+	// fault-injection layer seeded by ChaosSeed (see internal/chaos).
+	// Runtime invariant checking is enabled automatically. The spec's
+	// CBCapacity/CBEvictLRU overrides take precedence over
+	// CBEntriesPerBank/CBEvict.
+	Chaos     *chaos.Spec
+	ChaosSeed uint64
+	// Watchdog, when nonzero, arms the liveness watchdog: a run with no
+	// global progress for Watchdog cycles fails with ErrNoProgress.
+	Watchdog uint64
 }
 
 // Default returns the Table 2 configuration for a protocol.
@@ -114,6 +125,13 @@ type Machine struct {
 	// sinks receives the machine's trace-event stream; the component
 	// observers are installed once and fan out to every attached sink.
 	sinks trace.Multi
+
+	// chaos is the fault-injection engine shared by the mesh and banks
+	// (nil when disabled); watchdog and checkInv drive the liveness and
+	// invariant monitors in RunContext (see robust.go).
+	chaos    *chaos.Engine
+	watchdog uint64
+	checkInv bool
 
 	loaded   int
 	finished int
@@ -146,13 +164,30 @@ func New(cfg Config, classify func(memtypes.Addr) bool) *Machine {
 	if err := ValidateCores(cfg.Cores); err != nil {
 		panic(err.Error())
 	}
+	if cfg.Chaos.Active() {
+		// Structural overrides (capacity squeeze, eviction policy)
+		// apply at build time; everything else is drawn per site from
+		// the seeded engine.
+		if n := cfg.Chaos.CBCapacity; n > 0 {
+			cfg.CBEntriesPerBank = n
+		}
+		if cfg.Chaos.CBEvictLRU {
+			cfg.CBEvict = core.EvictLRU
+		}
+	}
 	w := int(math.Sqrt(float64(cfg.Cores)))
 	k := sim.New()
 	m := &Machine{
-		K:     k,
-		Mesh:  noc.New(k, w, w),
-		Store: mem.NewStore(),
-		cfg:   cfg,
+		K:        k,
+		Mesh:     noc.New(k, w, w),
+		Store:    mem.NewStore(),
+		cfg:      cfg,
+		watchdog: cfg.Watchdog,
+	}
+	if cfg.Chaos.Active() {
+		m.chaos = chaos.NewEngine(*cfg.Chaos, cfg.ChaosSeed)
+		m.checkInv = true
+		m.Mesh.SetChaos(m.chaos)
 	}
 	m.classify = classify
 	if cfg.IdealNoC {
@@ -175,6 +210,9 @@ func New(cfg Config, classify func(memtypes.Addr) bool) *Machine {
 			if cfg.Protocol == ProtocolQuiesce {
 				tile.L1.EnableMonitor()
 			}
+			if m.chaos != nil {
+				tile.Dir.SetChaos(m.chaos)
+			}
 			m.Mesh.Attach(id, tile)
 			m.mesiTiles = append(m.mesiTiles, tile)
 			port = tile.L1
@@ -196,6 +234,9 @@ func New(cfg Config, classify func(memtypes.Addr) bool) *Machine {
 			tile := &vips.Tile{
 				L1:   vips.NewL1(k, id, m.Mesh, bankOf),
 				Bank: vips.NewBank(k, id, m.Mesh, m.Store, cfg.Cores, vcfg),
+			}
+			if m.chaos != nil {
+				tile.Bank.SetChaos(m.chaos)
 			}
 			m.Mesh.Attach(id, tile)
 			m.vipsTiles = append(m.vipsTiles, tile)
@@ -298,19 +339,24 @@ func (m *Machine) Run(limit uint64) error {
 const ctxPollMask = 1023
 
 // RunContext is Run with cooperative cancellation: ctx is polled between
-// kernel events, and a canceled run stops within ~1k events and returns
-// ctx.Err() verbatim. A nil ctx behaves exactly like Run. Cancellation
-// leaves the machine in a consistent (if unfinished) state: Stats and
-// Diagnose remain usable.
+// kernel events, and a canceled run stops within ~1k events and fails
+// with an error matching both ErrCanceled and ctx.Err(). A nil ctx
+// behaves exactly like Run. When the watchdog is armed, a run with no
+// global progress for the watchdog window fails with a *NoProgressError
+// (matching ErrNoProgress) carrying a per-core dump; when invariant
+// checks are enabled (always under chaos), a violated invariant fails
+// with an *InvariantError (matching ErrInvariant). Any stop leaves the
+// machine in a consistent (if unfinished) state: Stats and Diagnose
+// remain usable.
 func (m *Machine) RunContext(ctx context.Context, limit uint64) error {
 	if m.loaded == 0 {
 		return fmt.Errorf("machine: no programs loaded")
 	}
 	cond := func() bool { return m.finished == m.loaded }
-	var cancelErr error
+	var cancelErr, stopErr error
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
-			return err
+			return canceledError{err}
 		}
 		if done := ctx.Done(); done != nil {
 			finished := cond
@@ -322,7 +368,7 @@ func (m *Machine) RunContext(ctx context.Context, limit uint64) error {
 				if n++; n&ctxPollMask == 0 {
 					select {
 					case <-done:
-						cancelErr = ctx.Err()
+						cancelErr = canceledError{ctx.Err()}
 						return true
 					default:
 					}
@@ -331,9 +377,44 @@ func (m *Machine) RunContext(ctx context.Context, limit uint64) error {
 			}
 		}
 	}
+	if m.watchdog > 0 || m.checkInv {
+		inner := cond
+		window := m.watchdog
+		var n uint
+		var lastProgress, lastAdvance uint64
+		first := true
+		cond = func() bool {
+			if inner() {
+				return true
+			}
+			if n++; n&wdPollMask != 0 {
+				return false
+			}
+			if m.checkInv {
+				if err := m.CheckInvariants(false); err != nil {
+					stopErr = err
+					return true
+				}
+			}
+			if window > 0 {
+				if cur := m.progress(); first || cur != lastProgress {
+					first = false
+					lastProgress = cur
+					lastAdvance = m.K.Now()
+				} else if m.K.Now()-lastAdvance >= window {
+					stopErr = m.noProgressError(window)
+					return true
+				}
+			}
+			return false
+		}
+	}
 	err := m.K.RunUntil(limit, cond)
 	if cancelErr != nil {
 		return cancelErr
+	}
+	if stopErr != nil {
+		return stopErr
 	}
 	if err != nil {
 		return fmt.Errorf("machine: %d/%d cores finished at cycle %d: %w\n%s",

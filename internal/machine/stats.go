@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -55,6 +56,10 @@ type Stats struct {
 	// opportunity Section 2.1 of the paper points out.
 	CoreActiveCycles uint64
 	CoreIdleCycles   uint64
+
+	// Chaos counts injected faults (all zero when fault injection is
+	// disabled, so baselines stay byte-identical).
+	Chaos chaos.Stats
 }
 
 // SyncLatency returns the mean latency of one synchronization episode of
@@ -134,6 +139,9 @@ func (m *Machine) Stats() Stats {
 		}
 	}
 	s.Net = m.Mesh.Stats()
+	if m.chaos != nil {
+		s.Chaos = m.chaos.Stats()
+	}
 	return s
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/chaos"
 	"repro/internal/mem"
 	"repro/internal/memtypes"
 	"repro/internal/noc"
@@ -58,7 +59,24 @@ type Dir struct {
 	busy   map[memtypes.Addr]*trans
 	deferq map[memtypes.Addr][]func()
 
+	// chaos, when non-nil, jitters LLC bank access latencies (fault
+	// injection; nil on the default path).
+	chaos *chaos.Engine
+
 	stats DirStats
+}
+
+// SetChaos installs a fault-injection engine on the directory bank (nil
+// disables injection).
+func (d *Dir) SetChaos(e *chaos.Engine) { d.chaos = e }
+
+// accessLat returns the LLC access latency for addr, plus chaos jitter.
+func (d *Dir) accessLat(addr memtypes.Addr, needData bool, syncKind uint8) uint64 {
+	lat := d.data.Access(addr, needData, syncKind)
+	if d.chaos != nil {
+		lat += d.chaos.LLCJitter()
+	}
+	return lat
 }
 
 // NewDir builds the directory bank for node id.
@@ -156,7 +174,7 @@ func (d *Dir) Deliver(msg *memtypes.Message) {
 // request message: it is the terminal step of every GetS/GetX
 // transaction.
 func (d *Dir) grant(msg *memtypes.Message, kind memtypes.MsgKind, done func()) {
-	lat := d.data.Access(msg.Addr, true, reqSyncKind(msg.Req))
+	lat := d.accessLat(msg.Addr, true, reqSyncKind(msg.Req))
 	d.k.Schedule(lat, func() {
 		data := d.mesh.NewMessage()
 		*data = memtypes.Message{

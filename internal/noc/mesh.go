@@ -12,6 +12,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/memtypes"
 	"repro/internal/sim"
 )
@@ -80,6 +81,25 @@ type Mesh struct {
 	// arrive after pure distance latency (ablation mode).
 	ideal bool
 
+	// chaos, when non-nil, injects per-message send delays and per-hop
+	// jitter (fault injection; nil on the default path).
+	chaos *chaos.Engine
+	// chaosFloor keeps chaos-perturbed times monotone where the real
+	// network is FIFO: links (and per-node injection/local delivery)
+	// must not reorder the messages they carry — the coherence
+	// protocols assume point-to-point order, and jitter that swapped
+	// two messages on one link would inject a fault no mesh can
+	// produce. Delays still reorder traffic across different routes.
+	// Indexed like linkFree, with two extra virtual directions per
+	// node: injection into the network and local (src==dst) delivery.
+	chaosFloor [][numDirs + 2]uint64
+
+	// live counts messages handed out by NewMessage and not yet
+	// returned with Free. It must be zero once the machine quiesces:
+	// a positive residue is a leaked message, a negative one a double
+	// free (message conservation, checked by machine.CheckInvariants).
+	live int
+
 	// dbg carries the double-free guard state; it is an empty struct
 	// unless built with -tags cbsimdebug (see mesh_debug.go).
 	dbg meshDebug
@@ -110,6 +130,38 @@ func (m *Mesh) SetSwitchLatency(cycles uint64) { m.switchLat = cycles }
 // flit-hops. Used to check that conclusions are not artifacts of the
 // contention model.
 func (m *Mesh) SetIdeal(v bool) { m.ideal = v }
+
+// SetChaos installs a fault-injection engine: messages may be held back
+// at their source (opening reordering windows across routes) and every
+// hop may pick up jitter, while each link stays FIFO. nil disables
+// injection.
+func (m *Mesh) SetChaos(e *chaos.Engine) {
+	m.chaos = e
+	if e != nil && m.chaosFloor == nil {
+		m.chaosFloor = make([][numDirs + 2]uint64, m.width*m.height)
+	}
+}
+
+// Virtual chaosFloor slots beyond the four link directions.
+const (
+	floorInject = int(numDirs)     // entry of a message into the network at its source
+	floorLocal  = int(numDirs) + 1 // delivery of a src==dst message
+)
+
+// chaosClamp returns t raised to the floor of the given FIFO domain and
+// records it, so successive events in that domain never reorder.
+func (m *Mesh) chaosClamp(node memtypes.NodeID, slot int, t uint64) uint64 {
+	if f := m.chaosFloor[node][slot]; t < f {
+		t = f
+	}
+	m.chaosFloor[node][slot] = t
+	return t
+}
+
+// LiveMessages reports how many pool messages are currently in flight
+// (allocated by NewMessage, not yet Freed). Negative means a double free
+// slipped past the cbsimdebug guard.
+func (m *Mesh) LiveMessages() int { return m.live }
 
 // Nodes returns the number of nodes in the mesh.
 func (m *Mesh) Nodes() int { return m.width * m.height }
@@ -172,14 +224,20 @@ func (m *Mesh) VisitLinkBusy(fn func(node memtypes.NodeID, busy uint64)) {
 // fill it and pass it to Send; the node that finally consumes it returns
 // it with Free.
 //cbsim:hotpath
-func (m *Mesh) NewMessage() *memtypes.Message { return m.getMessage() }
+func (m *Mesh) NewMessage() *memtypes.Message {
+	m.live++
+	return m.getMessage()
+}
 
 // Free recycles a message once its final consumer is done with it. The
 // caller must not retain msg (or schedule work referencing it) afterwards:
 // the pool may reissue it to any later sender. Builds with -tags
 // cbsimdebug panic on a double Free and poison freed messages so stale
 // readers fail loudly instead of silently corrupting protocol state.
-func (m *Mesh) Free(msg *memtypes.Message) { m.putMessage(msg) }
+func (m *Mesh) Free(msg *memtypes.Message) {
+	m.live--
+	m.putMessage(msg)
+}
 
 func (m *Mesh) check(n memtypes.NodeID) int {
 	if int(n) < 0 || int(n) >= len(m.handlers) {
@@ -214,7 +272,21 @@ func (m *Mesh) Send(msg *memtypes.Message) {
 	if m.observer != nil {
 		m.observer(m.k.Now(), msg, "send")
 	}
+	// Chaos holds the message at its source for delay extra cycles:
+	// the mesh itself is the actor, so the held message re-enters the
+	// network at its source node without any closure allocation. The
+	// clamps keep each FIFO domain (injection, links, local delivery)
+	// in order; see chaosFloor.
+	var delay uint64
+	if m.chaos != nil {
+		delay = m.chaos.SendDelay()
+	}
 	if msg.Src == msg.Dst {
+		if m.chaos != nil {
+			t := m.chaosClamp(msg.Dst, floorLocal, m.k.Now()+m.localLat+delay)
+			m.k.AtActor(t, m, msg, uint64(msg.Dst))
+			return
+		}
 		m.k.ScheduleActor(m.localLat, m, msg, uint64(msg.Dst))
 		return
 	}
@@ -224,8 +296,19 @@ func (m *Mesh) Send(msg *memtypes.Message) {
 		hops := uint64(m.HopCount(msg.Src, msg.Dst))
 		m.stats.FlitHops += uint64(msg.Flits()) * hops
 		m.stats.Hops += hops
+		if m.chaos != nil {
+			t := m.chaosClamp(msg.Dst, floorLocal, m.k.Now()+hops*m.switchLat+delay)
+			m.k.AtActor(t, m, msg, uint64(msg.Dst))
+			return
+		}
 		m.k.ScheduleActor(hops*m.switchLat, m, msg, uint64(msg.Dst))
 		return
+	}
+	if m.chaos != nil {
+		if t := m.chaosClamp(msg.Src, floorInject, m.k.Now()+delay); t > m.k.Now() {
+			m.k.AtActor(t, m, msg, uint64(msg.Src))
+			return
+		}
 	}
 	m.hop(msg, msg.Src)
 }
@@ -278,6 +361,9 @@ func (m *Mesh) hop(msg *memtypes.Message, at memtypes.NodeID) {
 	m.stats.Hops++
 
 	arrive := depart + m.switchLat
+	if m.chaos != nil {
+		arrive = m.chaosClamp(at, int(dir), arrive+m.chaos.HopJitter())
+	}
 	m.k.AtActor(arrive, m, msg, uint64(next))
 }
 

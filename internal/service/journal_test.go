@@ -1,0 +1,135 @@
+package service
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestJournalReplayFoldsRecords(t *testing.T) {
+	req := JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4}
+	pending, maxSeq := replayJournal([]journalRecord{
+		{Op: "submit", ID: "job-000001", Req: &req},
+		{Op: "submit", ID: "job-000002", Req: &req},
+		{Op: "submit", ID: "job-000003", Req: &req},
+		{Op: "done", ID: "job-000002", State: StateDone},
+		{Op: "done", ID: "job-000001", State: StateCanceled},
+		{Op: "done", ID: "job-999999", State: StateDone}, // done without submit: ignored
+	})
+	if maxSeq != 999999 {
+		t.Errorf("maxSeq = %d, want 999999", maxSeq)
+	}
+	if len(pending) != 1 || pending[0].id != "job-000003" {
+		t.Fatalf("pending = %+v, want only job-000003", pending)
+	}
+	if pending[0].req.Benchmark != "fft" {
+		t.Errorf("replayed request lost its body: %+v", pending[0].req)
+	}
+}
+
+// The submit append races against a fast worker's done append, so the
+// done record may land first; such a job is still terminal.
+func TestJournalReplayDoneBeforeSubmit(t *testing.T) {
+	req := JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4}
+	pending, maxSeq := replayJournal([]journalRecord{
+		{Op: "done", ID: "job-000001", State: StateDone},
+		{Op: "submit", ID: "job-000001", Req: &req},
+		{Op: "submit", ID: "job-000002", Req: &req},
+	})
+	if maxSeq != 2 {
+		t.Errorf("maxSeq = %d, want 2", maxSeq)
+	}
+	if len(pending) != 1 || pending[0].id != "job-000002" {
+		t.Fatalf("pending = %+v, want only job-000002 (job-000001 finished)", pending)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.ndjson")
+	full := `{"op":"submit","id":"job-000001","req":{"benchmark":"fft","setup":"CB-One","cores":4}}` + "\n"
+	torn := `{"op":"done","id":"job-0000` // crash mid-append
+	if err := os.WriteFile(path, []byte(full+torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jl, recs, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	defer jl.close()
+	if len(recs) != 1 || recs[0].ID != "job-000001" {
+		t.Fatalf("recs = %+v, want the one intact record", recs)
+	}
+	// Appends after recovery extend the same file and read back.
+	if err := jl.append(journalRecord{Op: "done", ID: "job-000001", State: StateDone}); err != nil {
+		t.Fatal(err)
+	}
+	recs2, _, err := readJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != 2 || recs2[1].State != StateDone {
+		t.Fatalf("after append: %+v", recs2)
+	}
+}
+
+func TestJournalRejectsMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.ndjson")
+	content := "{garbage\n" + `{"op":"submit","id":"job-000001"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openJournal(path); err == nil {
+		t.Fatal("mid-file corruption should fail loudly, not be skipped")
+	}
+}
+
+// The crash-recovery property at the package level: a journal holding
+// jobs that never finished is replayed on New — the jobs reappear under
+// their original IDs, run, and complete; new submissions continue the ID
+// sequence instead of colliding with journaled ones.
+func TestServerRecoversJobsFromJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.ndjson")
+	jl, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4}
+	for i := 1; i <= 2; i++ {
+		id := "job-" + strings.Repeat("0", 5) + strconv.Itoa(i)
+		if err := jl.append(journalRecord{Op: "submit", ID: id, Req: &req}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jl.close()
+
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, Parallelism: 1, JournalPath: path})
+	waitState(t, ts, "job-000001", StateDone)
+	waitState(t, ts, "job-000002", StateDone)
+
+	// A fresh submission must not reuse a journaled ID.
+	st, code := submit(t, ts, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	if st.ID != "job-000003" {
+		t.Fatalf("new job ID = %s, want job-000003 (sequence restored from journal)", st.ID)
+	}
+	waitState(t, ts, st.ID, StateDone)
+
+	// The journal now carries terminal records for everything: a second
+	// boot replays nothing.
+	recs, _, err := readJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending, _ := replayJournal(recs)
+	if len(pending) != 0 {
+		t.Fatalf("jobs still pending after completion: %+v", pending)
+	}
+}

@@ -20,6 +20,10 @@ type job struct {
 	// traceData holds the rendered JSON once the cell completes.
 	traceWanted bool
 
+	// onFinish, when set, is called exactly once with the terminal state
+	// (outside j.mu) — the server uses it to journal the transition.
+	onFinish func(state string)
+
 	mu        sync.Mutex
 	state     string
 	err       string
@@ -72,21 +76,39 @@ func (j *job) appendLocked(e Event) {
 	j.notify = make(chan struct{})
 }
 
-// start transitions the job to running.
-func (j *job) start() {
+// start transitions the job to running. It reports false — and does
+// nothing — when the job is already terminal (canceled while queued), so
+// the worker that dequeues it skips it instead of resurrecting it.
+func (j *job) start() bool {
 	j.mu.Lock()
+	if terminalState(j.state) {
+		j.mu.Unlock()
+		return false
+	}
 	j.state = StateRunning
 	j.appendLocked(Event{Type: "job_started", Job: j.id, Cells: len(j.cells)})
 	j.mu.Unlock()
+	return true
 }
 
 // finish records the terminal state (one of done/failed/canceled/
 // retryable) with its matching final event, exactly once.
 func (j *job) finish(state, errMsg string) {
+	j.finishFrom("", state, errMsg)
+}
+
+// finishFrom is finish restricted to jobs currently in state from (""
+// means any non-terminal state). It reports whether this call performed
+// the transition. The restriction makes "cancel a job that is still
+// queued" atomic: either the job is finished as canceled before any
+// worker touches it, or the worker already started it and the regular
+// cancellation path (context observed between kernel events) takes over
+// — never both, and never a zombie worker running a canceled job.
+func (j *job) finishFrom(from, state, errMsg string) bool {
 	j.mu.Lock()
-	if terminalState(j.state) {
+	if terminalState(j.state) || (from != "" && j.state != from) {
 		j.mu.Unlock()
-		return
+		return false
 	}
 	j.state = state
 	j.err = errMsg
@@ -94,6 +116,10 @@ func (j *job) finish(state, errMsg string) {
 	j.appendLocked(Event{Type: "job_" + state, Job: j.id, Cells: len(j.cells), Error: errMsg})
 	j.mu.Unlock()
 	j.cancel() // release the job context (and its timeout timer)
+	if j.onFinish != nil {
+		j.onFinish(state)
+	}
+	return true
 }
 
 func terminalState(s string) bool {

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCancelQueuedJobSkipsWorker pins the DELETE-before-start race: a
+// job canceled while still queued must be finished as canceled
+// immediately, the worker that later dequeues it must skip it (never
+// flipping it to running), and the worker must stay available for
+// subsequent jobs. Run under -race in CI.
+func TestCancelQueuedJobSkipsWorker(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Parallelism: 1})
+
+	// Occupy the single worker with a long sweep.
+	blocker, code := submit(t, ts, JobRequest{Setups: []string{"CB-One"}, Cores: 16})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit blocker = %d", code)
+	}
+	waitState(t, ts, blocker.ID, StateRunning)
+
+	// Queue a second job and cancel it before any worker can touch it.
+	queued, code := submit(t, ts, JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit queued = %d", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queued.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The cancellation is synchronous for queued jobs: no waiting for a
+	// worker.
+	st := getStatus(t, ts, queued.ID)
+	if st.State != StateCanceled || !strings.Contains(st.Error, "before start") {
+		t.Fatalf("canceled queued job = %+v", st)
+	}
+
+	// Free the worker and push another job through: the worker must have
+	// skipped the canceled job, not run it or died on it.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+blocker.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	after, code := submit(t, ts, JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit after cancel = %d", code)
+	}
+	waitState(t, ts, after.ID, StateDone)
+
+	// The canceled job never ran: still canceled, zero cells done.
+	st = getStatus(t, ts, queued.ID)
+	if st.State != StateCanceled || st.CellsDone != 0 {
+		t.Fatalf("skipped job mutated: %+v", st)
+	}
+}
+
+// TestPanicIsolatedToJob feeds the worker a job whose cell panics inside
+// the simulator (non-square core count smuggled past validation) and
+// expects that job to fail with the panic message while the daemon keeps
+// serving.
+func TestPanicIsolatedToJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Parallelism: 1})
+
+	// Build the poisoned job directly (the HTTP API validates cores).
+	cells := []CellSpec{{Benchmark: "fft", Setup: "CB-One", Cores: 7, Style: "scalable", Entries: 4, Limit: 1_000_000}}
+	j, err := func() (*job, error) {
+		req := JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4}
+		return s.makeJob("job-poison", req)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.cells = cells
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	s.jobsCh <- j
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := getStatus(t, ts, j.id)
+		if terminalState(st.State) {
+			if st.State != StateFailed || !strings.Contains(st.Error, "panicked") {
+				t.Fatalf("poisoned job = %+v, want failed with panic message", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("poisoned job never finished: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The daemon survived: the same worker completes the next job.
+	after, code := submit(t, ts, JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit after panic = %d", code)
+	}
+	waitState(t, ts, after.ID, StateDone)
+}
+
+// Backpressure responses carry jittered Retry-After hints so rejected
+// clients don't retry in lockstep.
+func TestRetryAfterJitter(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueDepth: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	seen := make(map[string]bool)
+	for i := 0; i < 8; i++ {
+		v := s.retryAfter()
+		n, err := time.ParseDuration(v + "s")
+		if err != nil || n < time.Second || n > 4*time.Second {
+			t.Fatalf("retryAfter() = %q, want 1..4 seconds", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("retryAfter never varied: %v", seen)
+	}
+}

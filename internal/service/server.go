@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -38,6 +40,12 @@ type Config struct {
 	// VersionSalt is hashed into every cache key
 	// (default DefaultVersionSalt).
 	VersionSalt string
+	// JournalPath, when non-empty, names the append-only NDJSON job
+	// journal: accepted jobs are recorded before the client sees 202,
+	// terminal transitions when they happen, and on boot jobs without a
+	// terminal record are re-enqueued under their original IDs — so
+	// queued and running jobs survive a daemon crash or kill -9.
+	JournalPath string
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -83,6 +91,12 @@ type Server struct {
 	order  []string // submission order, for listing
 	nextID atomic.Uint64
 
+	// journal is the crash-consistency log (nil without JournalPath).
+	journal *journal
+	// retrySeq drives the jittered Retry-After hint on backpressure
+	// responses, spreading retries of concurrently rejected clients.
+	retrySeq atomic.Uint64
+
 	simRate metrics.SimRate
 
 	// reg is the daemon's metrics registry, served at GET /metrics. The
@@ -96,8 +110,10 @@ type Server struct {
 	jobsRejected   *obs.Counter
 }
 
-// New builds a server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a server and starts its worker pool. With a configured
+// journal, jobs that were queued or running when the previous process
+// died are replayed into the queue before the first worker starts.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.fill()
 	s := &Server{
 		cfg:    cfg,
@@ -108,11 +124,79 @@ func New(cfg Config) *Server {
 	}
 	s.registerMetrics()
 	s.routes()
+	if cfg.JournalPath != "" {
+		jl, recs, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jl
+		pending, maxSeq := replayJournal(recs)
+		s.nextID.Store(maxSeq)
+		for _, p := range pending {
+			j, err := s.makeJob(p.id, p.req)
+			if err != nil {
+				// A journaled request that no longer validates (profile
+				// renamed across versions): drop it, loudly.
+				cfg.Logf("journal replay: dropping job %s: %v", p.id, err)
+				continue
+			}
+			s.mu.Lock()
+			s.jobs[p.id] = j
+			s.order = append(s.order, p.id)
+			s.mu.Unlock()
+			select {
+			case s.jobsCh <- j:
+				cfg.Logf("journal replay: job %s re-enqueued (%d cells)", p.id, len(j.cells))
+			default:
+				j.finish(StateRetryable, "journal replay: job queue full")
+			}
+		}
+	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// makeJob validates and normalizes req into a job with the given ID,
+// wired to journal its terminal transition.
+func (s *Server) makeJob(id string, req JobRequest) (*job, error) {
+	cells, err := req.Cells()
+	if err != nil {
+		return nil, err
+	}
+	if req.Trace && len(cells) != 1 {
+		return nil, fmt.Errorf("trace requires a single-cell job (request expands to %d cells)", len(cells))
+	}
+	par := req.Parallelism
+	if par <= 0 || par > s.cfg.Parallelism {
+		par = s.cfg.Parallelism
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	j := newJob(id, cells, par, ctx, cancel)
+	j.traceWanted = req.Trace
+	if s.journal != nil {
+		j.onFinish = func(state string) {
+			if err := s.journal.append(journalRecord{Op: "done", ID: id, State: state}); err != nil {
+				s.cfg.Logf("journal: recording %s -> %s: %v", id, state, err)
+			}
+		}
+	}
+	return j, nil
+}
+
+// retryAfter returns the next jittered Retry-After hint (1-4 seconds):
+// concurrently rejected clients get different delays, so their retries
+// don't arrive as a synchronized thundering herd.
+func (s *Server) retryAfter() string {
+	return fmt.Sprint(1 + s.retrySeq.Add(1)%4)
 }
 
 // registerMetrics declares the daemon's operational metrics and the
@@ -218,7 +302,14 @@ var errDraining = errors.New("service: draining")
 // runJob executes one job: each cell is either served from the
 // content-addressed cache or simulated, with progress events streamed as
 // it goes. Cells fan over the job's Parallelism via experiments.Sweep.
+// A panic anywhere in the job fails that job, never the daemon.
 func (s *Server) runJob(j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.cfg.Logf("job %s panicked: %v\n%s", j.id, r, debug.Stack())
+			j.finish(StateFailed, fmt.Sprintf("internal error: %v", r))
+		}
+	}()
 	if s.draining.Load() {
 		j.finish(StateRetryable, "server draining: job never started")
 		return
@@ -227,7 +318,10 @@ func (s *Server) runJob(j *job) {
 		j.finish(StateCanceled, err.Error())
 		return
 	}
-	j.start()
+	if !j.start() {
+		// Terminal before it ever ran (canceled while queued): skip.
+		return
+	}
 	s.cfg.Logf("job %s started: %d cells", j.id, len(j.cells))
 	n := len(j.cells)
 	o := experiments.Options{Parallelism: j.par, Context: j.ctx}
@@ -254,9 +348,18 @@ func (s *Server) runJob(j *job) {
 // runCell resolves one cell: cache hit or fresh simulation. A traced
 // cell (single-cell jobs only) always simulates fresh — the trace must
 // match the reported result — but still populates the cache for
-// untraced followers.
-func (s *Server) runCell(j *job, i int) error {
+// untraced followers. A panicking cell (simulator bug on one
+// configuration) fails its job with the panic as the error; sibling
+// cells on other workers finish their in-flight work, and the daemon
+// keeps serving.
+func (s *Server) runCell(j *job, i int) (err error) {
 	c := j.cells[i]
+	defer func() {
+		if r := recover(); r != nil {
+			s.cfg.Logf("job %s cell %d (%s/%s) panicked: %v\n%s", j.id, i+1, c.Benchmark, c.Setup, r, debug.Stack())
+			err = fmt.Errorf("cell %d (%s/%s) panicked: %v", i+1, c.Benchmark, c.Setup, r)
+		}
+	}()
 	key := c.Key(s.cfg.VersionSalt)
 	if data, ok := s.cache.Get(key); ok && !j.traceWanted {
 		s.cellsCached.Inc()
@@ -301,6 +404,13 @@ func (s *Server) runCell(j *job, i int) error {
 	}
 	res, err := experiments.RunBenchmark(p, setup, c.SyncStyle(), co)
 	if err != nil {
+		// A liveness failure carries a per-core dump of where every core
+		// was stuck; surface it in the daemon log (the job error string
+		// stays concise).
+		var npe *machine.NoProgressError
+		if errors.As(err, &npe) {
+			s.cfg.Logf("job %s cell %d (%s/%s) made no progress:\n%s", j.id, i+1, c.Benchmark, c.Setup, npe.Dump())
+		}
 		return err
 	}
 	if cw != nil {
@@ -355,6 +465,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.journal.close()
 		return nil
 	case <-ctx.Done():
 	}
@@ -367,6 +478,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	<-done
+	s.journal.close()
 	return ctx.Err()
 }
 
@@ -390,6 +502,7 @@ type apiError struct {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server draining", Retryable: true})
 		return
 	}
@@ -400,31 +513,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
 		return
 	}
-	cells, err := req.Cells()
+	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
+	j, err := s.makeJob(id, req)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	if req.Trace && len(cells) != 1 {
-		writeJSON(w, http.StatusBadRequest, apiError{
-			Error: fmt.Sprintf("trace requires a single-cell job (request expands to %d cells)", len(cells)),
-		})
-		return
-	}
-	par := req.Parallelism
-	if par <= 0 || par > s.cfg.Parallelism {
-		par = s.cfg.Parallelism
-	}
-	var ctx context.Context
-	var cancel context.CancelFunc
-	if s.cfg.JobTimeout > 0 {
-		ctx, cancel = context.WithTimeout(context.Background(), s.cfg.JobTimeout)
-	} else {
-		ctx, cancel = context.WithCancel(context.Background())
-	}
-	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
-	j := newJob(id, cells, par, ctx, cancel)
-	j.traceWanted = req.Trace
 
 	s.mu.Lock()
 	s.jobs[id] = j
@@ -444,11 +538,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		s.mu.Unlock()
-		cancel()
+		j.cancel()
 		s.jobsRejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: "job queue full", Retryable: true})
 		return
+	}
+	// Journal after the enqueue commits, before the client sees 202: a
+	// crash in between loses only a job whose acceptance was never
+	// acknowledged. A journal write error is logged, not fatal — the
+	// job still runs; it just won't survive a crash.
+	if err := s.journal.append(journalRecord{Op: "submit", ID: id, Req: &req}); err != nil {
+		s.cfg.Logf("journal: recording submit %s: %v", id, err)
 	}
 	s.jobsSubmitted.Inc()
 	writeJSON(w, http.StatusAccepted, j.status())
@@ -488,6 +589,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.cancel()
+	// A job still queued is finished right here, atomically: the worker
+	// that eventually dequeues it sees the terminal state and skips it
+	// (job.start). If the transition loses the race — a worker got
+	// there first — the canceled context stops the running simulation
+	// between kernel events.
+	j.finishFrom(StateQueued, StateCanceled, "canceled before start")
 	writeJSON(w, http.StatusOK, j.status())
 }
 

@@ -97,6 +97,13 @@ func NewLayout() *Layout {
 	}
 }
 
+// SharedSpan reports the allocated shared region [base, end): every
+// shared line and range handed out so far lies inside it. Chaos sweeps
+// snapshot this span to compare final memory states across runs.
+func (l *Layout) SharedSpan() (base, end memtypes.Addr) {
+	return SharedBase, l.nextShared
+}
+
 // SharedLine allocates one shared cache line and returns its address.
 // Synchronization variables get a line each (no false sharing), which
 // also spreads them across LLC banks.

@@ -3,6 +3,7 @@ package vips
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/memtypes"
@@ -38,6 +39,11 @@ type Bank struct {
 	mode     Mode
 	cbdir    *core.Directory
 	cbdirLat uint64
+
+	// chaos, when non-nil, injects directory-level faults (forced
+	// evictions, spurious wakes, delayed wake visibility) and LLC
+	// latency jitter; nil on the default path.
+	chaos *chaos.Engine
 
 	// queueLocks holds the ModeQueueLock blocking bits and FIFO queues
 	// (see queuelock.go).
@@ -169,7 +175,7 @@ func (b *Bank) Deliver(msg *memtypes.Message) {
 
 func (b *Bank) handleGetLine(msg *memtypes.Message) {
 	b.withLine(msg.Addr, func(release func()) {
-		lat := b.data.Access(msg.Addr, true, reqSyncKind(msg.Req))
+		lat := b.accessLat(msg.Addr, true, reqSyncKind(msg.Req))
 		b.k.Schedule(lat, func() {
 			data := b.mesh.NewMessage()
 			*data = memtypes.Message{
@@ -199,11 +205,11 @@ func (b *Bank) handleWTLine(msg *memtypes.Message) {
 				}
 				w := base + memtypes.Addr(i*memtypes.WordBytes)
 				if b.cbdir.HasEntry(w) {
-					b.wake(b.cbdir.Write(w, memtypes.CBAll), w, msg.LineData[i], false)
+					b.wakeAfter(0, b.cbdir.Write(w, memtypes.CBAll), w, msg.LineData[i])
 				}
 			}
 		}
-		lat := b.data.Access(msg.Addr, true, 0)
+		lat := b.accessLat(msg.Addr, true, 0)
 		b.k.Schedule(lat, func() {
 			ack := b.mesh.NewMessage()
 			*ack = memtypes.Message{
@@ -221,6 +227,9 @@ func (b *Bank) handleRacy(msg *memtypes.Message) {
 	req := msg.Req
 	if req == nil {
 		panic("vips: racy message without request")
+	}
+	if b.chaos != nil && b.cbdir != nil {
+		b.injectChaos(req.Addr)
 	}
 	switch req.Kind {
 	case memtypes.OpReadThrough:
@@ -256,7 +265,7 @@ func (b *Bank) readThrough(msg *memtypes.Message) {
 		b.observeOcc(msg.Req.Addr)
 	}
 	b.withLine(msg.Req.Addr, func(release func()) {
-		lat := b.data.Access(msg.Req.Addr, true, reqSyncKind(msg.Req))
+		lat := b.accessLat(msg.Req.Addr, true, reqSyncKind(msg.Req))
 		b.k.Schedule(lat, func() {
 			b.respond(msg, b.store.Load(msg.Req.Addr), false)
 			release()
@@ -278,7 +287,7 @@ func (b *Bank) callbackRead(msg *memtypes.Message) {
 			return
 		}
 		b.withLine(msg.Req.Addr, func(release func()) {
-			lat := b.data.Access(msg.Req.Addr, true, reqSyncKind(msg.Req))
+			lat := b.accessLat(msg.Req.Addr, true, reqSyncKind(msg.Req))
 			b.k.Schedule(lat, func() {
 				b.respond(msg, b.store.Load(msg.Req.Addr), false)
 				release()
@@ -300,11 +309,9 @@ func (b *Bank) racyWrite(msg *memtypes.Message) {
 			mode := cbWriteMode(req.Kind)
 			wakes := b.cbdir.Write(req.Addr, mode)
 			b.observeOcc(req.Addr)
-			b.k.Schedule(b.cbdirLat, func() {
-				b.wake(wakes, req.Addr, req.Value, false)
-			})
+			b.wakeAfter(b.cbdirLat, wakes, req.Addr, req.Value)
 		}
-		lat := b.data.Access(req.Addr, true, reqSyncKind(req))
+		lat := b.accessLat(req.Addr, true, reqSyncKind(req))
 		b.k.Schedule(lat, func() {
 			b.ack(msg)
 			release()
@@ -357,7 +364,7 @@ func (b *Bank) rmw(msg *memtypes.Message) {
 func (b *Bank) executeRMW(msg *memtypes.Message) {
 	req := msg.Req
 	b.withLine(req.Addr, func(release func()) {
-		lat := b.data.Access(req.Addr, true, reqSyncKind(req))
+		lat := b.accessLat(req.Addr, true, reqSyncKind(req))
 		b.k.Schedule(lat, func() {
 			old := b.store.Load(req.Addr)
 			if b.qlMaybeQueue(msg, old) {
@@ -374,7 +381,7 @@ func (b *Bank) executeRMW(msg *memtypes.Message) {
 					b.stats.CBDirAccesses++
 					wakes := b.cbdir.Write(req.Addr, req.RMWSt)
 					b.observeOcc(req.Addr)
-					b.wake(wakes, req.Addr, newVal, false)
+					b.wakeAfter(0, wakes, req.Addr, newVal)
 				}
 				if writes && (req.RMW == memtypes.RMWSwap || req.RMW == memtypes.RMWFetchAdd) {
 					// Unconditional atomics (signals) release queued

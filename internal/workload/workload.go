@@ -126,6 +126,14 @@ type Generated struct {
 	Flavor   synclib.Flavor
 	Layout   *synclib.Layout
 	Programs []*isa.Program
+	// Observe lists the data addresses whose final values are the
+	// workload's observable outcome — what chaos sweeps assert
+	// fault-invariant. nil means the whole shared span is data;
+	// workloads whose shared span contains synchronization internals
+	// with order-dependent residue (e.g. CLH queue-node pointers) must
+	// list their data addresses explicitly (empty = outcome is fully
+	// captured by Stats).
+	Observe []memtypes.Addr
 }
 
 // Generate lowers profile to per-thread programs for cores threads using
