@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet vet-cb race test-debug bench bench-snapshot ci figures fuzz chaos-litmus
+.PHONY: all build test vet vet-cb race test-debug bench bench-snapshot bench-gate ci figures fuzz chaos-litmus
 
 all: build
 
@@ -39,6 +39,15 @@ bench:
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -o BENCH_pr.json
 
+# bench-gate diffs BENCH_pr.json against the committed BENCH_baseline.json:
+# allocs/op exact, ns/op within a generous machine-speed tolerance, plus
+# same-machine ratios (wheel >= 2x heap on spin-wave; warm sweep within
+# 1.10x of cold). Regenerate the baseline with
+# `go run ./cmd/benchsnap -o BENCH_baseline.json` when perf changes are
+# intentional, and say so in the PR.
+bench-gate: bench-snapshot
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -pr BENCH_pr.json
+
 # fuzz runs the callback-directory differential fuzzer (real directory
 # vs. an unbounded reference model) for a bounded session. CI runs a
 # short smoke; use FUZZTIME=5m locally for a real hunt.
@@ -56,8 +65,9 @@ chaos-litmus:
 
 # ci is the full gate: vet (stock + project analyzers), build,
 # race-enabled tests, the cbsimdebug tagged tests, a single-shot
-# benchmark pass, and the archived perf snapshot.
-ci: vet vet-cb build race test-debug bench bench-snapshot
+# benchmark pass, and the perf gate (which also writes the archived
+# BENCH_pr.json snapshot).
+ci: vet vet-cb build race test-debug bench bench-gate
 
 # figures regenerates every table of the paper at full 64-core scale.
 figures:

@@ -40,6 +40,7 @@ type snapshot struct {
 	NumCPU        int                  `json:"num_cpu"`
 	Benchmarks    map[string]benchPerf `json:"benchmarks"`
 	SimRate       simRate              `json:"sim_rate"`
+	Kernel        kernelTelemetry      `json:"kernel_telemetry"`
 }
 
 type benchPerf struct {
@@ -47,6 +48,19 @@ type benchPerf struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
+}
+
+// kernelTelemetry is the two-tier scheduler's internal counters over the
+// spin-wave reference workload: how much traffic the wheel absorbed
+// versus the overflow heap, and the queue-depth high-water mark. These
+// are diagnostics for reading a perf diff, not gated values.
+type kernelTelemetry struct {
+	WheelPushes uint64  `json:"wheel_pushes"`
+	HeapPushes  uint64  `json:"heap_pushes"`
+	Migrations  uint64  `json:"migrations"`
+	Skips       uint64  `json:"skips"`
+	MaxPending  uint64  `json:"max_pending_events"`
+	WheelShare  float64 `json:"wheel_share"`
 }
 
 type simRate struct {
@@ -94,6 +108,40 @@ func run(out string, cores int, benches []string) error {
 		}
 	}))
 
+	// Spin-wave: the ISSUE's target distribution — 64 parked cores with
+	// known short-period wakes plus 1024 sparse far-future events. The
+	// wheel must hold a decisive lead over the heap-only reference here;
+	// the gate pins the ratio rather than absolute ns/op.
+	snap.Benchmarks["spin_wave_wheel"] = record(testing.Benchmark(func(b *testing.B) {
+		spinWave(b, sim.New())
+	}))
+	snap.Benchmarks["spin_wave_heap"] = record(testing.Benchmark(func(b *testing.B) {
+		spinWave(b, sim.NewHeapOnly())
+	}))
+
+	// Telemetry from a fixed-length spin-wave run on the wheel kernel:
+	// shows where events landed and the queue-depth high-water mark.
+	{
+		k := sim.New()
+		spinWaveSetup(k)
+		for i := 0; i < 1_000_000; i++ {
+			k.Step()
+		}
+		tele := k.Telemetry()
+		share := 0.0
+		if tot := tele.WheelPushes + tele.HeapPushes; tot > 0 {
+			share = float64(tele.WheelPushes) / float64(tot)
+		}
+		snap.Kernel = kernelTelemetry{
+			WheelPushes: tele.WheelPushes,
+			HeapPushes:  tele.HeapPushes,
+			Migrations:  tele.Migrations,
+			Skips:       tele.Skips,
+			MaxPending:  tele.MaxPending,
+			WheelShare:  share,
+		}
+	}
+
 	// Full Table 2 machine construction (64 tiles, caches, directories).
 	snap.Benchmarks["machine_new_64"] = record(testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -104,6 +152,25 @@ func run(out string, cores int, benches []string) error {
 			}
 		}
 	}))
+
+	// Snapshot fork: wall clock for the reduced Figure-21 grid, cold
+	// (every cell builds its machine from scratch) versus warm (cells
+	// fork from the zero-state snapshot pool). Min-of-2 damps scheduler
+	// noise; the warm trio's first run also fills the pool, so the min
+	// reflects steady-state forking.
+	sweep := experiments.Options{Cores: cores, Benchmarks: []string{"radiosity", "fft", "dedup"}}
+	coldWall, err := sweepWall(sweep)
+	if err != nil {
+		return err
+	}
+	warm := sweep
+	warm.WarmStart = true
+	warmWall, err := sweepWall(warm)
+	if err != nil {
+		return err
+	}
+	snap.Benchmarks["snapshot_fork_cold"] = benchPerf{NsPerOp: float64(coldWall.Nanoseconds()), Iterations: 3}
+	snap.Benchmarks["snapshot_fork_warm"] = benchPerf{NsPerOp: float64(warmWall.Nanoseconds()), Iterations: 3}
 
 	// Sim rate: a reference sweep under CB-One, folded through the same
 	// SimRate estimator cbsimd exports as cbsimd_sim_cycles_per_wall_second.
@@ -148,6 +215,57 @@ func run(out string, cores int, benches []string) error {
 		snap.Benchmarks["kernel_hot_path"].AllocsPerOp,
 		snap.SimRate.CyclesPerSecond)
 	return nil
+}
+
+// spinWaveActor models a parked core with a known next wake: it fires
+// and immediately reschedules itself period cycles out.
+type spinWaveActor struct {
+	k      *sim.Kernel
+	period uint64
+}
+
+func (a *spinWaveActor) Act(data any, arg uint64) {
+	a.k.ScheduleActor(a.period, a, nil, 0)
+}
+
+// spinWaveSetup populates k with the spin-wave distribution: 64 spinners
+// on short staggered periods plus 1024 sparse far-future events. Mirrors
+// BenchmarkKernelSpinWave in internal/sim.
+func spinWaveSetup(k *sim.Kernel) {
+	const spinners = 64
+	sp := make([]spinWaveActor, spinners)
+	for i := range sp {
+		sp[i] = spinWaveActor{k: k, period: uint64(i%17 + 3)}
+		k.ScheduleActor(sp[i].period, &sp[i], nil, 0)
+	}
+	idle := &spinWaveActor{k: k, period: 2_000_000_000}
+	for i := 0; i < 1024; i++ {
+		k.AtActor(1_000_000_000+uint64(i), idle, nil, 0)
+	}
+}
+
+func spinWave(b *testing.B, k *sim.Kernel) {
+	spinWaveSetup(k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}
+
+// sweepWall times one full reduced Figure-21 sweep, min of three runs.
+func sweepWall(o experiments.Options) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := experiments.RunSuite(experiments.StandardSetups(), workload.StyleScalable, o); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
 }
 
 func record(r testing.BenchmarkResult) benchPerf {

@@ -69,12 +69,14 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 // that executes inside a single-goroutine simulated machine and must be
 // bit-reproducible run to run. The sweep/service layers (experiments,
 // service, obs, trace, metrics) are intentionally excluded — they own
-// the worker pools and wall-clock concerns.
+// the worker pools and wall-clock concerns. chaos is in: its fault
+// decisions execute inside the machine and must replay bit-identically
+// from the seeded RNG (which is also snapshot/restored).
 var simCorePkgs = map[string]bool{
 	"sim": true, "machine": true, "cpu": true, "core": true,
 	"isa": true, "mesi": true, "vips": true, "noc": true,
 	"cache": true, "mem": true, "memtypes": true, "synclib": true,
-	"workload": true,
+	"workload": true, "chaos": true,
 }
 
 // IsSimCore reports whether the import path names a simulator-core

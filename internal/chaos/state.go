@@ -1,0 +1,24 @@
+package chaos
+
+// This file implements deterministic snapshot/restore for machine
+// warm-starts (machine.Snapshot). The fault spec and its precomputed
+// thresholds are configuration; the mutable state is the PRNG position
+// and the injected-fault counters.
+
+// EngineState is a copy of an Engine's mutable state.
+type EngineState struct {
+	RNG   Rand
+	Stats Stats
+}
+
+// State captures the engine's mutable state.
+func (e *Engine) State() EngineState {
+	return EngineState{RNG: e.rng, Stats: e.stats}
+}
+
+// SetState overwrites the engine's mutable state, rewinding (or
+// advancing) its fault stream to the captured position.
+func (e *Engine) SetState(st EngineState) {
+	e.rng = st.RNG
+	e.stats = st.Stats
+}

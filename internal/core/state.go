@@ -1,0 +1,84 @@
+package core
+
+import "repro/internal/memtypes"
+
+// This file implements deterministic snapshot/restore for machine
+// warm-starts (machine.Snapshot). Directory entries are pure data — the
+// protocol layer holds the parked operations — so a directory can always
+// be captured; the protocol layer refuses to snapshot while anything is
+// parked.
+
+// SavedEntry is a deep copy of one valid directory entry.
+type SavedEntry struct {
+	Index int
+	Addr  memtypes.Addr
+	FE    []bool
+	CB    []bool
+	One   bool
+	Wake  int
+	LRU   uint64
+}
+
+// DirectoryState is a deep copy of a Directory's mutable state.
+type DirectoryState struct {
+	Entries []SavedEntry
+	Tick    uint64
+	Stats   Stats
+}
+
+// State captures the directory's mutable state.
+func (d *Directory) State() DirectoryState {
+	st := DirectoryState{Tick: d.tick, Stats: d.stats}
+	for i := range d.entries {
+		e := &d.entries[i]
+		if !e.valid {
+			continue
+		}
+		st.Entries = append(st.Entries, SavedEntry{
+			Index: i,
+			Addr:  e.addr,
+			FE:    append([]bool(nil), e.fe...),
+			CB:    append([]bool(nil), e.cb...),
+			One:   e.one,
+			Wake:  e.wake,
+			LRU:   e.lru,
+		})
+	}
+	return st
+}
+
+// SetState overwrites the directory's mutable state with a previously
+// captured one. The directory must have the entry count and core count
+// the state was captured from.
+func (d *Directory) SetState(st DirectoryState) {
+	for i := range d.entries {
+		e := &d.entries[i]
+		e.valid = false
+		e.addr = 0
+		e.one = false
+		e.wake = 0
+		e.lru = 0
+		for j := range e.fe {
+			e.fe[j] = false
+		}
+		for j := range e.cb {
+			e.cb[j] = false
+		}
+	}
+	for _, se := range st.Entries {
+		e := &d.entries[se.Index]
+		e.valid = true
+		e.addr = se.Addr
+		if len(e.fe) != len(se.FE) {
+			e.fe = make([]bool, len(se.FE))
+			e.cb = make([]bool, len(se.CB))
+		}
+		copy(e.fe, se.FE)
+		copy(e.cb, se.CB)
+		e.one = se.One
+		e.wake = se.Wake
+		e.lru = se.LRU
+	}
+	d.tick = st.Tick
+	d.stats = st.Stats
+}

@@ -135,6 +135,12 @@ type Options struct {
 	// machine.ErrNoProgress and a per-core dump.
 	Watchdog uint64
 
+	// WarmStart reuses machines across cells of the same configuration:
+	// each run forks from a pooled machine rewound to its zero-state
+	// snapshot instead of building a new one (see warmpool.go). Results
+	// are byte-identical to cold runs; only wall-clock changes.
+	WarmStart bool
+
 	// postRun, when set, is called with the machine after a successful
 	// run, before Stats are collected (chaos sweeps quiesce the event
 	// queue, check final invariants, and snapshot memory here).
@@ -289,8 +295,10 @@ func (r Result) Time() float64 { return float64(r.Stats.Cycles) }
 // Traffic returns the network traffic in flit-hops (the GARNET metric).
 func (r Result) Traffic() float64 { return float64(r.Stats.Net.FlitHops) }
 
-// buildMachine constructs the machine for a setup.
-func buildMachine(s Setup, o Options) *machine.Machine {
+// machineConfig derives the machine configuration for a setup — the warm
+// pool's key, so every option that changes machine behavior must flow
+// through it.
+func machineConfig(s Setup, o Options) machine.Config {
 	cfg := machine.Default(s.Protocol)
 	cfg.Cores = o.Cores
 	cfg.BackoffLimit = s.BackoffLimit
@@ -298,7 +306,12 @@ func buildMachine(s Setup, o Options) *machine.Machine {
 	cfg.Chaos = o.Chaos
 	cfg.ChaosSeed = o.ChaosSeed
 	cfg.Watchdog = o.Watchdog
-	return machine.New(cfg, synclib.IsPrivate)
+	return cfg
+}
+
+// buildMachine constructs the machine for a setup.
+func buildMachine(s Setup, o Options) *machine.Machine {
+	return machine.New(machineConfig(s, o), synclib.IsPrivate)
 }
 
 // runGenerated loads and runs a generated workload, returning stats and
@@ -306,7 +319,18 @@ func buildMachine(s Setup, o Options) *machine.Machine {
 // events; cancellation is returned as a bare ctx.Err() so callers can
 // errors.Is it directly.
 func runGenerated(g *workload.Generated, s Setup, o Options) (Result, error) {
-	m := buildMachine(s, o)
+	var m *machine.Machine
+	if o.WarmStart {
+		cfg := machineConfig(s, o)
+		w, err := acquireWarm(cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s under %s: warm start: %w", g.Profile.Name, s.Name, err)
+		}
+		m = w.m
+		defer releaseWarm(cfg, w)
+	} else {
+		m = buildMachine(s, o)
+	}
 	if o.Trace != nil {
 		m.AttachTrace(o.Trace)
 	}

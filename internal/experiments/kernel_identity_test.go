@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/synclib"
+)
+
+// runMicroOnKernel runs one sync microbenchmark on a machine built from
+// the setup's config with the chosen kernel tier and returns its Stats.
+func runMicroOnKernel(t *testing.T, mc Micro, s Setup, heapOnly bool) machine.Stats {
+	t.Helper()
+	const cores = 16
+	g := mc.build(cores, s.Flavor())
+	cfg := machineConfig(s, Options{Cores: cores, CBEntries: 4})
+	cfg.HeapOnlyKernel = heapOnly
+	m := machine.New(cfg, synclib.IsPrivate)
+	for a, v := range g.Layout.Init {
+		m.Store.StoreWord(a, v)
+	}
+	for tid, prog := range g.Programs {
+		m.Load(tid, prog, nil)
+	}
+	if err := m.Run(200_000_000); err != nil {
+		t.Fatalf("micro %s under %s: %v", mc.Name, s.Name, err)
+	}
+	return m.Stats()
+}
+
+// The calendar-wheel kernel must produce byte-identical Stats to the
+// heap-only reference on every Figure-20 synchronization microbenchmark —
+// the workloads whose spin/wake patterns the wheel fast path targets.
+func TestKernelVariantsByteIdenticalOnSyncMicros(t *testing.T) {
+	setups := []Setup{
+		{Name: "Invalidation", Protocol: machine.ProtocolMESI},
+		{Name: "BackOff-10", Protocol: machine.ProtocolBackoff, BackoffLimit: 10},
+		{Name: "CB-One", Protocol: machine.ProtocolCallback, CBOne: true},
+	}
+	for _, mc := range Micros() {
+		for _, s := range setups {
+			wheel := runMicroOnKernel(t, mc, s, false)
+			heap := runMicroOnKernel(t, mc, s, true)
+			if !reflect.DeepEqual(wheel, heap) {
+				t.Fatalf("micro %s under %s: Stats diverge:\nwheel %+v\nheap  %+v", mc.Name, s.Name, wheel, heap)
+			}
+		}
+	}
+}

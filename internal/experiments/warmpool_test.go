@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Warm-started sweeps must be byte-identical to cold ones: the pool
+// rewinds machines to their zero-state snapshot, which reconstructs the
+// exact fresh-built machine. This runs a reduced Figure-21 grid (three
+// benchmarks, all seven standard setups) both ways and compares every
+// Result — Stats and Energy — with DeepEqual.
+func TestWarmStartSweepIdentity(t *testing.T) {
+	o := Options{Cores: 16, Benchmarks: []string{"radiosity", "fft", "dedup"}}
+	cold, err := RunSuite(StandardSetups(), workload.StyleScalable, o)
+	if err != nil {
+		t.Fatalf("cold sweep: %v", err)
+	}
+	o.WarmStart = true
+	warm, err := RunSuite(StandardSetups(), workload.StyleScalable, o)
+	if err != nil {
+		t.Fatalf("warm sweep: %v", err)
+	}
+	if !reflect.DeepEqual(cold.Results, warm.Results) {
+		for b, setups := range cold.Results {
+			for s, cr := range setups {
+				if wr := warm.Results[b][s]; !reflect.DeepEqual(cr, wr) {
+					t.Errorf("%s under %s diverged:\ncold %+v\nwarm %+v", b, s, cr, wr)
+				}
+			}
+		}
+		t.Fatal("warm-start sweep results differ from cold run")
+	}
+
+	// Run the warm sweep again: now every cell forks from the pool.
+	again, err := RunSuite(StandardSetups(), workload.StyleScalable, o)
+	if err != nil {
+		t.Fatalf("second warm sweep: %v", err)
+	}
+	if !reflect.DeepEqual(cold.Results, again.Results) {
+		t.Fatal("pooled warm-start sweep results differ from cold run")
+	}
+}
+
+// The pool rewind must also erase cross-benchmark contamination when the
+// same pooled machine hosts different workloads back to back, even
+// serially with Parallelism 1 (maximum reuse).
+func TestWarmStartSerialReuse(t *testing.T) {
+	o := Options{Cores: 16, Benchmarks: []string{"radiosity"}, Parallelism: 1}
+	s := StandardSetups()[0]
+	p, err := workload.ByName("radiosity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := RunBenchmark(p, s, workload.StyleScalable, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.WarmStart = true
+	for i := 0; i < 3; i++ {
+		warm, err := RunBenchmark(p, s, workload.StyleScalable, o)
+		if err != nil {
+			t.Fatalf("warm run %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("warm run %d diverged from cold run", i)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package litmus
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// The two-tier calendar-wheel kernel and the single-tier heap-only
+// reference kernel must be indistinguishable at the machine level: same
+// litmus outcomes AND byte-identical machine.Stats. Any divergence means
+// the wheel changed event ordering, which the (time, sequence) contract
+// forbids.
+func TestKernelVariantsByteIdenticalOnLitmus(t *testing.T) {
+	for _, proto := range Protocols() {
+		for seed := int64(1); seed <= 3; seed++ {
+			p := RandProgram(seed, 4)
+			p.Encode(flavorFor(proto))
+			cfg := machine.Default(proto)
+			cfg.Cores = 4
+			wheelOut, wheelM, err := RunConfig(p, cfg)
+			if err != nil {
+				t.Fatalf("%v seed %d (wheel): %v", proto, seed, err)
+			}
+			cfg.HeapOnlyKernel = true
+			heapOut, heapM, err := RunConfig(p, cfg)
+			if err != nil {
+				t.Fatalf("%v seed %d (heap): %v", proto, seed, err)
+			}
+			if !reflect.DeepEqual(wheelOut, heapOut) {
+				t.Fatalf("%v seed %d: outcomes diverge: wheel %v heap %v", proto, seed, wheelOut, heapOut)
+			}
+			ws, hs := wheelM.Stats(), heapM.Stats()
+			if !reflect.DeepEqual(ws, hs) {
+				t.Fatalf("%v seed %d: Stats diverge:\nwheel %+v\nheap  %+v", proto, seed, ws, hs)
+			}
+		}
+	}
+}

@@ -96,6 +96,11 @@ type Config struct {
 	// Watchdog, when nonzero, arms the liveness watchdog: a run with no
 	// global progress for Watchdog cycles fails with ErrNoProgress.
 	Watchdog uint64
+	// HeapOnlyKernel selects the single-tier reference event scheduler
+	// (sim.NewHeapOnly) instead of the two-tier calendar-wheel kernel.
+	// Results are byte-identical either way; the flag exists for the
+	// wheel-vs-heap identity tests and benchmark baselines.
+	HeapOnlyKernel bool
 }
 
 // Default returns the Table 2 configuration for a protocol.
@@ -177,6 +182,9 @@ func New(cfg Config, classify func(memtypes.Addr) bool) *Machine {
 	}
 	w := int(math.Sqrt(float64(cfg.Cores)))
 	k := sim.New()
+	if cfg.HeapOnlyKernel {
+		k = sim.NewHeapOnly()
+	}
 	m := &Machine{
 		K:        k,
 		Mesh:     noc.New(k, w, w),

@@ -1,0 +1,161 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/mesi"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/vips"
+)
+
+// This file implements deterministic machine snapshots for warm-start
+// sweeps: a deep copy of all mutable simulation state, captured at
+// quiescence and restorable into any machine of a compatible
+// configuration.
+//
+// Snapshots are legal only at quiescence — no pending kernel events and
+// no in-flight network messages. That is the moment every piece of
+// closure-holding transient state (pending L1 operations, busy directory
+// lines, parked callback reads, armed monitors, queued step
+// continuations) is provably empty: each component's State() checks its
+// own residue and fails otherwise. The two states sweeps snapshot — a
+// freshly built machine before Load, and a machine whose programs ran to
+// completion — are quiescent by construction.
+//
+// Restore is valid from ANY machine state: it overwrites every mutable
+// field, drops whatever transient state the target held, and detaches
+// observability (trace sinks reference the run they were attached for;
+// AttachTrace reinstalls fresh observers on the next attach). A machine
+// restored from a snapshot is behaviorally byte-identical to the machine
+// the snapshot was taken from: same kernel clock and sequence counter,
+// same caches, directories, link clocks, chaos PRNG position, and
+// counters. Identity is pinned by TestSnapshotRestoreIdentity and the
+// warm-vs-cold sweep tests in internal/experiments.
+
+// Snapshot is a deep, deterministic copy of a quiescent machine's
+// mutable state.
+type Snapshot struct {
+	cfg      Config
+	kernel   sim.KernelState
+	mesh     noc.MeshState
+	store    mem.StoreState
+	cores    []cpu.CoreState
+	vips     []vips.TileState
+	mesi     []mesi.TileState
+	chaos    *chaos.EngineState
+	loaded   int
+	finished int
+}
+
+// Snapshot captures the machine's complete mutable state. It fails
+// unless the machine is quiescent: no pending events, no in-flight
+// messages, and no transient protocol state anywhere.
+func (m *Machine) Snapshot() (*Snapshot, error) {
+	kernel, err := m.K.State()
+	if err != nil {
+		return nil, fmt.Errorf("machine: snapshot: %w", err)
+	}
+	mesh, err := m.Mesh.State()
+	if err != nil {
+		return nil, fmt.Errorf("machine: snapshot: %w", err)
+	}
+	s := &Snapshot{
+		cfg:      m.cfg,
+		kernel:   kernel,
+		mesh:     mesh,
+		store:    m.Store.State(),
+		loaded:   m.loaded,
+		finished: m.finished,
+	}
+	for _, c := range m.Cores {
+		s.cores = append(s.cores, c.State())
+	}
+	for _, t := range m.vipsTiles {
+		st, err := t.State()
+		if err != nil {
+			return nil, fmt.Errorf("machine: snapshot: %w", err)
+		}
+		s.vips = append(s.vips, st)
+	}
+	for _, t := range m.mesiTiles {
+		st, err := t.State()
+		if err != nil {
+			return nil, fmt.Errorf("machine: snapshot: %w", err)
+		}
+		s.mesi = append(s.mesi, st)
+	}
+	if m.chaos != nil {
+		cs := m.chaos.State()
+		s.chaos = &cs
+	}
+	return s, nil
+}
+
+// configsCompatible reports whether a machine built from a can host a
+// snapshot taken from a machine built from b: every structural and
+// behavioral parameter must match. Chaos specs are compared by value —
+// two machines configured with equal specs at different addresses are
+// interchangeable.
+func configsCompatible(a, b Config) bool {
+	ca, cb := a.Chaos, b.Chaos
+	a.Chaos, b.Chaos = nil, nil
+	if a != b {
+		return false
+	}
+	if ca.Active() != cb.Active() {
+		return false
+	}
+	return !ca.Active() || *ca == *cb
+}
+
+// Restore overwrites the machine's mutable state with a previously
+// captured snapshot, detaching any attached trace sinks (AttachTrace
+// reinstalls observers on the next attach). The machine may be in any
+// state; its configuration must match the snapshot's. After Restore the
+// machine's future behavior is byte-identical to that of the snapshot's
+// source machine at capture time.
+func (m *Machine) Restore(s *Snapshot) error {
+	if !configsCompatible(m.cfg, s.cfg) {
+		return fmt.Errorf("machine: restore: config mismatch (snapshot %+v, machine %+v)", s.cfg, m.cfg)
+	}
+	m.detachObservers()
+	m.K.SetState(s.kernel)
+	m.Mesh.SetState(s.mesh)
+	m.Store.SetState(s.store)
+	for i, c := range m.Cores {
+		c.SetState(s.cores[i])
+	}
+	for i, t := range m.vipsTiles {
+		t.SetState(s.vips[i])
+	}
+	for i, t := range m.mesiTiles {
+		t.SetState(s.mesi[i])
+	}
+	if m.chaos != nil && s.chaos != nil {
+		m.chaos.SetState(*s.chaos)
+	}
+	m.loaded = s.loaded
+	m.finished = s.finished
+	return nil
+}
+
+// detachObservers drops the trace sinks and uninstalls every component
+// observer, so a pooled machine never pays observer overhead (or emits
+// into a stale sink) on behalf of a previous run.
+func (m *Machine) detachObservers() {
+	m.sinks = nil
+	m.Mesh.SetObserver(nil)
+	for _, t := range m.vipsTiles {
+		t.Bank.SetObserver(nil)
+	}
+	for _, t := range m.mesiTiles {
+		t.L1.SetMonitorObserver(nil)
+	}
+	for _, c := range m.Cores {
+		c.SetObserver(nil)
+	}
+}

@@ -1,0 +1,52 @@
+package mem
+
+import (
+	"repro/internal/cache"
+	"repro/internal/memtypes"
+)
+
+// This file implements deterministic snapshot/restore for machine
+// warm-starts (machine.Snapshot).
+
+// StoreState is a deep copy of a Store's word contents.
+type StoreState struct {
+	Words map[memtypes.Addr]uint64
+}
+
+// State captures the store's contents.
+func (s *Store) State() StoreState {
+	w := make(map[memtypes.Addr]uint64, len(s.words))
+	//cbvet:unordered copying map to map is order-independent
+	for k, v := range s.words {
+		w[k] = v
+	}
+	return StoreState{Words: w}
+}
+
+// SetState overwrites the store's contents with a previously captured
+// state. The state's map is copied, not aliased.
+func (s *Store) SetState(st StoreState) {
+	clear(s.words)
+	//cbvet:unordered copying map to map is order-independent
+	for k, v := range st.Words {
+		s.words[k] = v
+	}
+}
+
+// BankState is a deep copy of a Bank's mutable state: line residency and
+// counters. The latency parameters are configuration, not state.
+type BankState struct {
+	Arr   cache.ArrayState[struct{}]
+	Stats BankStats
+}
+
+// State captures the bank's mutable state.
+func (b *Bank) State() BankState {
+	return BankState{Arr: b.arr.State(), Stats: b.stats}
+}
+
+// SetState overwrites the bank's mutable state.
+func (b *Bank) SetState(st BankState) {
+	b.arr.SetState(st.Arr)
+	b.stats = st.Stats
+}

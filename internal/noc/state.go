@@ -1,0 +1,63 @@
+package noc
+
+import "errors"
+
+// This file implements deterministic snapshot/restore for machine
+// warm-starts (machine.Snapshot). A mesh may only be snapshotted when no
+// messages are in flight: in-flight messages live as pending kernel
+// events and cannot be serialized. At quiescence the mutable state is
+// just the link-availability clocks, the traffic counters, and the chaos
+// FIFO floors. The message pool is deliberately NOT captured: MsgPool.Get
+// returns zeroed messages, so pool population is behaviorally invisible —
+// a restored mesh merely allocates a few messages a cold one would reuse.
+
+// MeshState is a deep copy of a quiescent Mesh's mutable state.
+type MeshState struct {
+	LinkFree   [][numDirs]uint64
+	LinkBusy   [][numDirs]uint64
+	Stats      Stats
+	ChaosFloor [][numDirs + 2]uint64 // nil when chaos was never enabled
+}
+
+// ErrLiveMessages is returned by State when messages are still in flight.
+var ErrLiveMessages = errors.New("noc: messages in flight")
+
+// State captures the mesh's mutable state. It fails with ErrLiveMessages
+// unless every message has been freed back to the pool.
+func (m *Mesh) State() (MeshState, error) {
+	if m.live != 0 {
+		return MeshState{}, ErrLiveMessages
+	}
+	st := MeshState{
+		LinkFree: make([][numDirs]uint64, len(m.linkFree)),
+		LinkBusy: make([][numDirs]uint64, len(m.linkBusy)),
+		Stats:    m.stats,
+	}
+	copy(st.LinkFree, m.linkFree)
+	copy(st.LinkBusy, m.linkBusy)
+	if m.chaosFloor != nil {
+		st.ChaosFloor = make([][numDirs + 2]uint64, len(m.chaosFloor))
+		copy(st.ChaosFloor, m.chaosFloor)
+	}
+	return st, nil
+}
+
+// SetState overwrites the mesh's mutable state with a previously captured
+// one. The mesh must have the geometry the state was captured from.
+func (m *Mesh) SetState(st MeshState) {
+	copy(m.linkFree, st.LinkFree)
+	copy(m.linkBusy, st.LinkBusy)
+	m.stats = st.Stats
+	switch {
+	case st.ChaosFloor != nil && m.chaosFloor == nil:
+		m.chaosFloor = make([][numDirs + 2]uint64, len(st.ChaosFloor))
+		copy(m.chaosFloor, st.ChaosFloor)
+	case st.ChaosFloor != nil:
+		copy(m.chaosFloor, st.ChaosFloor)
+	case m.chaosFloor != nil:
+		for i := range m.chaosFloor {
+			m.chaosFloor[i] = [numDirs + 2]uint64{}
+		}
+	}
+	m.live = 0
+}

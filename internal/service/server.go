@@ -385,6 +385,11 @@ func (s *Server) runCell(j *job, i int) (err error) {
 		Parallelism: 1, // a cell is a single simulation
 		Context:     j.ctx,
 		Metrics:     s.sim,
+		// Cache-adjacent cells share configurations; warm-starting from
+		// the experiments machine pool skips rebuilding the machine.
+		// Results are byte-identical (tracing still works: restore
+		// detaches the previous run's observers).
+		WarmStart: true,
 		Progress: func(e experiments.RunEvent) {
 			if !e.Done {
 				j.emit(Event{

@@ -76,8 +76,9 @@ func TestActorScheduleNoAllocs(t *testing.T) {
 	}
 }
 
-// Popping must zero the vacated tail slot: otherwise the backing array
-// pins the last-popped closure (and everything it captures) forever.
+// Popping must zero the vacated entry in both tiers: otherwise the
+// backing arrays pin the last-popped closure (and everything it captures)
+// forever.
 func TestPopZeroesVacatedSlot(t *testing.T) {
 	k := New()
 	k.Schedule(1, func() {})
@@ -85,8 +86,76 @@ func TestPopZeroesVacatedSlot(t *testing.T) {
 	if !k.Step() {
 		t.Fatal("Step returned false")
 	}
-	tail := k.pq[:2][1]
+	// Cycle 1's wheel slot drained and rewound; its backing entry must
+	// not retain the fired event.
+	e := k.slots[1].ev[:1][0]
+	if e.fn != nil || e.actor != nil || e.data != nil {
+		t.Fatalf("vacated wheel slot not zeroed: %+v", e)
+	}
+
+	kh := NewHeapOnly()
+	kh.Schedule(1, func() {})
+	kh.Schedule(2, func() {})
+	if !kh.Step() {
+		t.Fatal("Step returned false")
+	}
+	tail := kh.heap[:2][1]
 	if tail.fn != nil || tail.actor != nil || tail.data != nil {
 		t.Fatalf("vacated heap slot not zeroed: %+v", tail)
+	}
+}
+
+// spinWaveActor models a parked core with a known next wake: it fires and
+// immediately reschedules itself period cycles out. No closures, no
+// allocations.
+type spinWaveActor struct {
+	k      *Kernel
+	period uint64
+	fires  uint64
+}
+
+func (a *spinWaveActor) Act(data any, arg uint64) {
+	a.fires++
+	a.k.ScheduleActor(a.period, a, nil, 0)
+}
+
+// benchmarkSpinWave is the ISSUE target distribution: many cores whose
+// next wake cycle is already known (short staggered periods -> wheel) plus
+// a block of sparse far-future events (watchdogs, timeouts -> heap) that
+// the heap-only kernel must sift past on every operation.
+func benchmarkSpinWave(b *testing.B, k *Kernel) {
+	const spinners = 64
+	sp := make([]spinWaveActor, spinners)
+	for i := range sp {
+		sp[i] = spinWaveActor{k: k, period: uint64(i%17 + 3)}
+		k.ScheduleActor(sp[i].period, &sp[i], nil, 0)
+	}
+	idle := &spinWaveActor{k: k, period: 2_000_000_000}
+	for i := 0; i < 1024; i++ {
+		k.AtActor(1_000_000_000+uint64(i), idle, nil, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}
+
+func BenchmarkKernelSpinWave(b *testing.B) {
+	b.Run("wheel", func(b *testing.B) { benchmarkSpinWave(b, New()) })
+	b.Run("heap", func(b *testing.B) { benchmarkSpinWave(b, NewHeapOnly()) })
+}
+
+func TestSpinWaveNoAllocs(t *testing.T) {
+	k := New()
+	a := &spinWaveActor{k: k, period: 7}
+	k.ScheduleActor(a.period, a, nil, 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if !k.Step() {
+			t.Fatal("Step returned false with a pending event")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("spin-wave step allocated %.1f times per event, want 0", allocs)
 	}
 }

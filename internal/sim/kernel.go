@@ -3,19 +3,25 @@
 // All simulator components (cores, cache controllers, network routers)
 // schedule closures at absolute or relative cycle times. Events that share
 // a cycle fire in scheduling order, which makes every run bit-reproducible:
-// the heap is ordered by (time, sequence number).
+// the queue is ordered by (time, sequence number).
 //
-// The event queue is a hand-rolled typed binary min-heap rather than
-// container/heap: the interface-based heap boxes every event into an `any`
-// on Push/Pop, which costs an allocation and an indirect call per event —
-// the dominant overhead of a simulator whose events are tiny closures.
-// The typed heap keeps events in a flat pre-grown []event and performs
-// zero heap allocations per Schedule/Step in steady state.
+// The scheduler is two-tiered. Near-future events — the overwhelmingly
+// common case: NoC hops, cache latencies, spin retries, known next-wakes
+// of parked cores — go to a fixed-size calendar wheel with one slot per
+// cycle, giving O(1) schedule and pop. Far-future events overflow into a
+// hand-rolled typed binary min-heap (container/heap would box every event
+// into an `any`, costing an allocation and an indirect call per event) and
+// lazily migrate onto the wheel as the clock approaches them. Advancing
+// the clock scans the wheel's occupancy bitmap, so a fully quiescent phase
+// — every core parked with a known wake cycle — costs one bitmap jump to
+// the next occupied slot instead of per-cycle scans. Both tiers keep
+// events in flat pre-grown arrays and perform zero heap allocations per
+// Schedule/Step in steady state.
 package sim
 
 import (
 	"errors"
-	"fmt"
+	"math/bits"
 )
 
 // ErrLimit is returned by Run when the cycle limit is reached with events
@@ -51,21 +57,96 @@ func (e *event) before(o *event) bool {
 	return e.seq < o.seq
 }
 
-// initialHeapCap pre-grows a kernel's event queue so steady-state
+// Wheel geometry: one slot per cycle over a wheelSlots-cycle horizon.
+// Because every wheel event satisfies now <= when < now+wheelSlots, two
+// distinct times can never map to the same slot, so each slot holds the
+// events of exactly one cycle, in sequence order.
+const (
+	wheelSlots = 1024
+	wheelMask  = wheelSlots - 1
+	wheelWords = wheelSlots / 64
+)
+
+// slotCap is the pre-grown per-slot capacity: slots that ever need more
+// keep their grown backing across reuse, so growth is one-time per slot.
+const slotCap = 2
+
+// wheelSlot holds the pending events of one cycle. ev[head:] are live, in
+// sequence order; entries before head have fired and are zeroed.
+type wheelSlot struct {
+	ev   []event
+	head int
+}
+
+// initialHeapCap pre-grows the overflow heap so steady-state far-future
 // scheduling never reallocates the backing array.
 const initialHeapCap = 4096
+
+// Telemetry counts scheduler-internal activity, for attributing kernel
+// speedups (cmd/benchsnap records it next to the benchmark numbers). The
+// counters never feed back into simulation results: machine.Stats stays
+// byte-identical across kernel variants.
+type Telemetry struct {
+	WheelPushes uint64 // events scheduled onto the wheel (incl. migrations)
+	HeapPushes  uint64 // events scheduled into the overflow heap
+	Migrations  uint64 // heap events migrated onto the wheel
+	Skips       uint64 // pops that advanced the clock by more than one cycle
+	MaxPending  uint64 // high-water mark of the pending-event count
+}
 
 // Kernel is a discrete-event simulator clock and event queue.
 // The zero value is ready to use at cycle 0.
 type Kernel struct {
-	pq   []event
+	slots []wheelSlot // calendar wheel (nil until first use of a zero Kernel)
+	occ   []uint64    // occupancy bitmap, one bit per slot
+	heap  []event     // overflow tier for events >= wheelSlots cycles out
+	nwheel int        // live events on the wheel
+
 	now  uint64
 	seq  uint64
 	nrun uint64
+
+	// heapOnly disables the wheel entirely (NewHeapOnly): the reference
+	// single-tier scheduler for byte-identity tests and benchmarks.
+	heapOnly bool
+
+	// cached memoizes the earliest pending event between the limit check
+	// and the pop that fires it, so Run/RunUntil scan the wheel once per
+	// event. cachedSlot < 0 means the event is the heap top.
+	cached     bool
+	cachedSlot int
+	cachedWhen uint64
+
+	tele Telemetry
 }
 
-// New returns a kernel at cycle zero with a pre-grown event queue.
-func New() *Kernel { return &Kernel{pq: make([]event, 0, initialHeapCap)} }
+// New returns a kernel at cycle zero with pre-grown event queues.
+func New() *Kernel {
+	k := &Kernel{heap: make([]event, 0, initialHeapCap)}
+	k.initWheel()
+	return k
+}
+
+// NewHeapOnly returns a kernel that schedules every event through the
+// overflow heap, bypassing the calendar wheel — the single-tier reference
+// scheduler. Results are byte-identical to the two-tier kernel (same
+// (time, sequence) contract); only the constant factor differs. It exists
+// for the wheel-vs-heap identity tests and benchmark baselines.
+func NewHeapOnly() *Kernel {
+	return &Kernel{heap: make([]event, 0, initialHeapCap), heapOnly: true}
+}
+
+// initWheel allocates the wheel: all slots share one flat pre-grown
+// backing array so steady-state scheduling touches no allocator.
+func (k *Kernel) initWheel() {
+	k.slots = make([]wheelSlot, wheelSlots)
+	k.occ = make([]uint64, wheelWords)
+	backing := make([]event, wheelSlots*slotCap)
+	for i := range k.slots {
+		k.slots[i].ev = backing[:0:slotCap]
+		backing = backing[slotCap:]
+	}
+}
 
 // Now reports the current simulation cycle.
 func (k *Kernel) Now() uint64 { return k.now }
@@ -74,7 +155,10 @@ func (k *Kernel) Now() uint64 { return k.now }
 func (k *Kernel) Executed() uint64 { return k.nrun }
 
 // Pending reports how many events are scheduled but not yet fired.
-func (k *Kernel) Pending() int { return len(k.pq) }
+func (k *Kernel) Pending() int { return k.nwheel + len(k.heap) }
+
+// Telemetry returns the scheduler-internal counters accumulated so far.
+func (k *Kernel) Telemetry() Telemetry { return k.tele }
 
 // Schedule runs fn delay cycles from now. A delay of zero fires later in
 // the current cycle, after all previously scheduled events for this cycle.
@@ -83,8 +167,12 @@ func (k *Kernel) Schedule(delay uint64, fn func()) {
 	k.At(k.now+delay, fn)
 }
 
-// At runs fn at the absolute cycle when. Scheduling in the past panics:
-// it is always a simulator bug.
+// At runs fn at the absolute cycle when. A when earlier than Now() is
+// clamped to now: the event fires later in the current cycle, after all
+// previously scheduled events, exactly like Schedule(0, fn). Protocol
+// layers compute absolute deadlines such as "FIFO floor + latency" whose
+// floor may already have passed; the clamp makes that well-defined
+// instead of a time-travel bug.
 //cbsim:hotpath
 func (k *Kernel) At(when uint64, fn func()) {
 	if fn == nil {
@@ -100,7 +188,8 @@ func (k *Kernel) ScheduleActor(delay uint64, a Actor, data any, arg uint64) {
 	k.AtActor(k.now+delay, a, data, arg)
 }
 
-// AtActor runs a.Act(data, arg) at the absolute cycle when.
+// AtActor runs a.Act(data, arg) at the absolute cycle when. Like At, a
+// when earlier than Now() is clamped to now.
 //cbsim:hotpath
 func (k *Kernel) AtActor(when uint64, a Actor, data any, arg uint64) {
 	if a == nil {
@@ -109,16 +198,146 @@ func (k *Kernel) AtActor(when uint64, a Actor, data any, arg uint64) {
 	k.push(event{when: when, actor: a, data: data, arg: arg})
 }
 
-// push inserts an event, assigning its sequence number, and sifts it up.
+// push inserts an event, assigning its sequence number, into the wheel
+// (near future) or the overflow heap (far future).
 //cbsim:hotpath
 func (k *Kernel) push(e event) {
 	if e.when < k.now {
-		panic(fmt.Sprintf("sim: scheduling at %d before now %d", e.when, k.now))
+		e.when = k.now // clamp: see At
 	}
 	e.seq = k.seq
 	k.seq++
-	h := append(k.pq, e)
-	k.pq = h
+	k.cached = false
+	if !k.heapOnly && e.when-k.now < wheelSlots {
+		if k.slots == nil {
+			k.initWheel()
+		}
+		k.wheelPush(e)
+	} else {
+		k.tele.HeapPushes++
+		k.heapPush(e)
+	}
+	if p := uint64(k.nwheel + len(k.heap)); p > k.tele.MaxPending {
+		k.tele.MaxPending = p
+	}
+}
+
+// wheelPush inserts an event with now <= e.when < now+wheelSlots into its
+// slot, keeping the slot in sequence order. Direct pushes append (their
+// sequence numbers are monotone); only a heap->wheel migration can arrive
+// with a sequence number below an already-slotted event, taking the
+// binary-insert path.
+//cbsim:hotpath
+func (k *Kernel) wheelPush(e event) {
+	k.tele.WheelPushes++
+	si := int(e.when) & wheelMask
+	s := &k.slots[si]
+	wasEmpty := s.head == len(s.ev)
+	if n := len(s.ev); wasEmpty || s.ev[n-1].seq < e.seq {
+		s.ev = append(s.ev, e)
+	} else {
+		s.ev = append(s.ev, event{})
+		lo, hi := s.head, n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s.ev[mid].seq < e.seq {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		copy(s.ev[lo+1:], s.ev[lo:n])
+		s.ev[lo] = e
+	}
+	if wasEmpty {
+		k.occ[si>>6] |= 1 << uint(si&63)
+	}
+	k.nwheel++
+}
+
+// popSlot removes the earliest (lowest-sequence) event of slot si, zeroing
+// the vacated entry so the popped closure (and anything it captures) stays
+// collectable. A drained slot rewinds to reuse its backing.
+//cbsim:hotpath
+func (k *Kernel) popSlot(si int) event {
+	s := &k.slots[si]
+	e := s.ev[s.head]
+	s.ev[s.head] = event{}
+	s.head++
+	if s.head == len(s.ev) {
+		s.ev = s.ev[:0]
+		s.head = 0
+		k.occ[si>>6] &^= 1 << uint(si&63)
+	}
+	k.nwheel--
+	return e
+}
+
+// nextOccupied returns the occupied slot closest to the current cycle,
+// scanning the bitmap circularly from now's slot. The caller must ensure
+// the wheel is non-empty. This is the batch-skip fast path: a quiescent
+// stretch costs one masked word test plus a trailing-zeros jump per 64
+// empty slots, not a per-cycle walk.
+//cbsim:hotpath
+func (k *Kernel) nextOccupied() int {
+	start := int(k.now) & wheelMask
+	wi := start >> 6
+	w := k.occ[wi] &^ (1<<uint(start&63) - 1)
+	for {
+		if w != 0 {
+			return wi<<6 | bits.TrailingZeros64(w)
+		}
+		wi = (wi + 1) & (wheelWords - 1)
+		w = k.occ[wi]
+	}
+}
+
+// migrate moves heap events that entered the wheel horizon onto the wheel.
+// Same-time events pop from the heap in sequence order, and wheelPush
+// re-orders against any directly pushed slot-mates, so migration preserves
+// the (time, sequence) contract exactly.
+//cbsim:hotpath
+func (k *Kernel) migrate() {
+	for len(k.heap) > 0 && k.heap[0].when-k.now < wheelSlots {
+		k.tele.Migrations++
+		k.wheelPush(k.heapPop())
+	}
+}
+
+// locate finds the earliest pending event and memoizes it for the
+// following pop. The caller must ensure events are pending.
+//cbsim:hotpath
+func (k *Kernel) locate() {
+	if !k.heapOnly {
+		k.migrate()
+	}
+	if k.nwheel > 0 {
+		si := k.nextOccupied()
+		start := int(k.now) & wheelMask
+		k.cachedSlot = si
+		k.cachedWhen = k.now + uint64((si-start)&wheelMask)
+	} else {
+		k.cachedSlot = -1
+		k.cachedWhen = k.heap[0].when
+	}
+	k.cached = true
+}
+
+// earliest returns the time of the earliest pending event. The caller
+// must ensure events are pending.
+//cbsim:hotpath
+func (k *Kernel) earliest() uint64 {
+	if !k.cached {
+		k.locate()
+	}
+	return k.cachedWhen
+}
+
+// heapPush sifts an event up the overflow heap.
+//cbsim:hotpath
+func (k *Kernel) heapPush(e event) {
+	h := append(k.heap, e)
+	k.heap = h
 	for i := len(h) - 1; i > 0; {
 		p := (i - 1) / 2
 		if !h[i].before(&h[p]) {
@@ -129,17 +348,17 @@ func (k *Kernel) push(e event) {
 	}
 }
 
-// pop removes and returns the earliest event, zeroing the vacated slot so
-// the popped closure (and anything it captures) stays collectable.
+// heapPop removes and returns the heap's earliest event, zeroing the
+// vacated tail slot so the popped closure stays collectable.
 //cbsim:hotpath
-func (k *Kernel) pop() event {
-	h := k.pq
+func (k *Kernel) heapPop() event {
+	h := k.heap
 	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
 	h[n] = event{}
 	h = h[:n]
-	k.pq = h
+	k.heap = h
 	for i := 0; ; {
 		c := 2*i + 1
 		if c >= n {
@@ -158,11 +377,23 @@ func (k *Kernel) pop() event {
 }
 
 // stepOne pops and fires the earliest event, advancing the clock to its
-// time. The caller must ensure the queue is non-empty. It is the single
+// time. The caller must ensure events are pending. It is the single
 // shared pop-loop body of Step, Run, and RunUntil.
 //cbsim:hotpath
 func (k *Kernel) stepOne() {
-	e := k.pop()
+	if !k.cached {
+		k.locate()
+	}
+	var e event
+	if si := k.cachedSlot; si >= 0 {
+		e = k.popSlot(si)
+	} else {
+		e = k.heapPop()
+	}
+	k.cached = false
+	if e.when > k.now+1 {
+		k.tele.Skips++
+	}
 	k.now = e.when
 	k.nrun++
 	if e.fn != nil {
@@ -176,7 +407,7 @@ func (k *Kernel) stepOne() {
 // its time. It reports false if no events are pending.
 //cbsim:hotpath
 func (k *Kernel) Step() bool {
-	if len(k.pq) == 0 {
+	if k.Pending() == 0 {
 		return false
 	}
 	k.stepOne()
@@ -187,8 +418,8 @@ func (k *Kernel) Step() bool {
 // It returns nil when the queue drained, ErrLimit otherwise.
 // A limit of 0 means no limit.
 func (k *Kernel) Run(limit uint64) error {
-	for len(k.pq) > 0 {
-		if limit != 0 && k.pq[0].when > limit {
+	for k.Pending() > 0 {
+		if limit != 0 && k.earliest() > limit {
 			k.now = limit
 			return ErrLimit
 		}
@@ -204,8 +435,8 @@ func (k *Kernel) RunUntil(limit uint64, cond func() bool) error {
 	if cond() {
 		return nil
 	}
-	for len(k.pq) > 0 {
-		if limit != 0 && k.pq[0].when > limit {
+	for k.Pending() > 0 {
+		if limit != 0 && k.earliest() > limit {
 			k.now = limit
 			return ErrLimit
 		}
@@ -218,4 +449,53 @@ func (k *Kernel) RunUntil(limit uint64, cond func() bool) error {
 		return nil
 	}
 	return errors.New("sim: event queue drained before condition held")
+}
+
+// KernelState is the portable execution state of a quiescent kernel: with
+// no events pending, the clock, sequence counter, and executed count fully
+// determine all future behavior (machine snapshots capture and restore
+// exactly this).
+type KernelState struct {
+	Now      uint64
+	Seq      uint64
+	Executed uint64
+}
+
+// ErrNotQuiescent is returned by State when events are still pending.
+var ErrNotQuiescent = errors.New("sim: kernel has pending events")
+
+// State captures the kernel's execution state. It fails with
+// ErrNotQuiescent unless the queue is drained: pending closures cannot be
+// serialized deterministically.
+func (k *Kernel) State() (KernelState, error) {
+	if k.Pending() != 0 {
+		return KernelState{}, ErrNotQuiescent
+	}
+	return KernelState{Now: k.now, Seq: k.seq, Executed: k.nrun}, nil
+}
+
+// SetState overwrites the kernel's execution state, dropping any pending
+// events and resetting telemetry. Restoring a quiescent state into a
+// kernel — in any state — makes its future behavior byte-identical to the
+// kernel the state was captured from.
+func (k *Kernel) SetState(s KernelState) {
+	for i := range k.slots {
+		sl := &k.slots[i]
+		if len(sl.ev) > 0 {
+			clear(sl.ev[sl.head:])
+			sl.ev = sl.ev[:0]
+			sl.head = 0
+		}
+	}
+	for i := range k.occ {
+		k.occ[i] = 0
+	}
+	clear(k.heap)
+	k.heap = k.heap[:0]
+	k.nwheel = 0
+	k.cached = false
+	k.tele = Telemetry{}
+	k.now = s.Now
+	k.seq = s.Seq
+	k.nrun = s.Executed
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -142,18 +143,39 @@ func TestRunUntilDrained(t *testing.T) {
 	}
 }
 
-func TestSchedulePastPanics(t *testing.T) {
+// At/AtActor with when < Now() clamp to now: the event fires later in the
+// current cycle, after everything already scheduled for it — identical to
+// Schedule(0). Protocol layers compute absolute deadlines (FIFO floor +
+// latency) whose floor may already have passed; the clamp makes that
+// well-defined.
+func TestSchedulePastClampsToNow(t *testing.T) {
 	k := New()
+	var order []string
 	k.Schedule(10, func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("scheduling in the past did not panic")
+		k.Schedule(0, func() { order = append(order, "zero-delay") })
+		k.At(5, func() {
+			order = append(order, "clamped")
+			if k.Now() != 10 {
+				t.Errorf("clamped event fired at %d, want 10", k.Now())
 			}
-		}()
-		k.At(5, func() {})
+		})
 	})
+	a := &recordingActor{}
+	k.Schedule(20, func() { k.AtActor(3, a, nil, 77) })
 	if err := k.Run(0); err != nil {
 		t.Fatalf("Run: %v", err)
+	}
+	// The clamped event was scheduled after the zero-delay one, so it
+	// fires second within cycle 10.
+	want := []string{"zero-delay", "clamped"}
+	if len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	if k.Now() != 20 {
+		t.Fatalf("Now = %d, want 20 (clamped actor event fired at cycle 20)", k.Now())
+	}
+	if len(a.args) != 1 || a.args[0] != 77 {
+		t.Fatalf("clamped actor event did not fire: %v", a.args)
 	}
 }
 
@@ -220,6 +242,139 @@ func TestPropertyOrdering(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A far-future event (overflow heap) with a lower sequence number must
+// fire before a directly wheel-pushed event at the same cycle with a
+// higher sequence number: migration re-sorts the slot by sequence.
+func TestMigrationPreservesSeqOrder(t *testing.T) {
+	k := New()
+	var order []int
+	k.At(2000, func() { order = append(order, 0) }) // seq 0: 2000 cycles out -> heap
+	k.At(1500, func() {                             // seq 1: also heap at push time
+		k.At(2000, func() { order = append(order, 1) }) // seq 2: 500 out -> wheel direct
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("order = %v, want [0 1] (migrated low-seq event must fire first)", order)
+	}
+	if tele := k.Telemetry(); tele.Migrations == 0 {
+		t.Fatal("expected at least one heap->wheel migration")
+	}
+}
+
+// Property: the two-tier kernel and the heap-only reference kernel fire
+// the same events at the same cycles in the same order, including events
+// scheduled from within events across the wheel horizon.
+func TestWheelHeapIdenticalOrder(t *testing.T) {
+	trace := func(k *Kernel, delays []uint16) [][2]uint64 {
+		var got [][2]uint64
+		for i, d := range delays {
+			i, d := uint64(i), uint64(d)
+			k.Schedule(d, func() {
+				got = append(got, [2]uint64{k.Now(), i})
+				if d%3 == 0 {
+					k.Schedule(d/2+1500, func() {
+						got = append(got, [2]uint64{k.Now(), 1<<32 | i})
+					})
+				}
+			})
+		}
+		if err := k.Run(0); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return got
+	}
+	f := func(delays []uint16) bool {
+		return reflect.DeepEqual(trace(New(), delays), trace(NewHeapOnly(), delays))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sparse wheels advance the clock in one jump per event; telemetry counts
+// those batch skips.
+func TestBatchSkipTelemetry(t *testing.T) {
+	k := New()
+	k.Schedule(100, func() {})
+	k.Schedule(700, func() {})
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tele := k.Telemetry(); tele.Skips != 2 {
+		t.Fatalf("Skips = %d, want 2 (0->100 and 100->700)", tele.Skips)
+	}
+	if tele := k.Telemetry(); tele.WheelPushes != 2 || tele.HeapPushes != 0 {
+		t.Fatalf("telemetry = %+v, want both events on the wheel", tele)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	k := New()
+	k.Schedule(5, func() {})
+	k.Schedule(2000, func() {})
+	if _, err := k.State(); err != ErrNotQuiescent {
+		t.Fatalf("State with pending events: err = %v, want ErrNotQuiescent", err)
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st, err := k.State()
+	if err != nil {
+		t.Fatalf("State: %v", err)
+	}
+	if st.Now != 2000 || st.Seq != 2 || st.Executed != 2 {
+		t.Fatalf("state = %+v, want {2000 2 2}", st)
+	}
+
+	// Restore into a kernel with pending garbage in both tiers: the
+	// garbage is dropped, and future behavior matches the source kernel.
+	k2 := New()
+	k2.Schedule(1, func() { t.Error("dropped wheel event fired") })
+	k2.At(99999, func() { t.Error("dropped heap event fired") })
+	k2.SetState(st)
+	if k2.Pending() != 0 {
+		t.Fatalf("Pending = %d after SetState, want 0", k2.Pending())
+	}
+	if k2.Now() != 2000 || k2.Executed() != 2 {
+		t.Fatalf("restored now=%d executed=%d, want 2000/2", k2.Now(), k2.Executed())
+	}
+	var at uint64
+	k2.Schedule(3, func() { at = k2.Now() })
+	if err := k2.Run(0); err != nil {
+		t.Fatalf("Run after restore: %v", err)
+	}
+	if at != 2003 {
+		t.Fatalf("event after restore fired at %d, want 2003", at)
+	}
+}
+
+// The Run limit clamp must not disturb the wheel window invariant: after
+// stopping at the limit, resuming fires everything in the right order.
+func TestRunLimitAcrossWheelHorizon(t *testing.T) {
+	k := New()
+	var times []uint64
+	for _, d := range []uint64{500, 1500, 3000, 3000, 9000} {
+		k.Schedule(d, func() { times = append(times, k.Now()) })
+	}
+	for _, limit := range []uint64{200, 600, 2500, 3000, 5000} {
+		if err := k.Run(limit); err != ErrLimit {
+			t.Fatalf("Run(%d) err = %v, want ErrLimit", limit, err)
+		}
+		if k.Now() != limit {
+			t.Fatalf("Now = %d after Run(%d), want clamp to limit", k.Now(), limit)
+		}
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatalf("final Run: %v", err)
+	}
+	want := []uint64{500, 1500, 3000, 3000, 9000}
+	if !reflect.DeepEqual(times, want) {
+		t.Fatalf("fire times = %v, want %v", times, want)
 	}
 }
 
