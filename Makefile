@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet vet-cb race test-debug bench bench-snapshot bench-gate ci figures fuzz chaos-litmus
+.PHONY: all build test vet vet-cb race test-debug bench bench-snapshot bench-gate ci figures fuzz chaos-litmus replay-e2e
 
 all: build
 
@@ -63,11 +63,18 @@ chaos-litmus:
 	$(GO) test -count=1 -run 'TestRunChaos|Storm|TestWatchdog|TestCheckInvariants|TestChaosConfig' \
 		./internal/experiments/ ./internal/litmus/ ./internal/machine/
 
+# replay-e2e is the time-travel gate over the wire: build the real
+# cbsimd binary, run a checkpointed job, replay windows of it over HTTP,
+# and diff the replayed full-window Chrome trace against a directly
+# traced run of the same cell (byte-identical, or the gate fails).
+replay-e2e:
+	$(GO) test -count=1 -run TestReplayE2E ./cmd/cbsimd/
+
 # ci is the full gate: vet (stock + project analyzers), build,
 # race-enabled tests, the cbsimdebug tagged tests, a single-shot
-# benchmark pass, and the perf gate (which also writes the archived
-# BENCH_pr.json snapshot).
-ci: vet vet-cb build race test-debug bench bench-gate
+# benchmark pass, the perf gate (which also writes the archived
+# BENCH_pr.json snapshot), and the replay end-to-end gate.
+ci: vet vet-cb build race test-debug bench bench-gate replay-e2e
 
 # figures regenerates every table of the paper at full 64-core scale.
 figures:

@@ -11,10 +11,12 @@
 //     order-of-magnitude cliff is a lost fast path, not a slow machine.
 //   - machine-independent ratios measured WITHIN one run of one machine:
 //     the calendar-wheel kernel must hold at least a 2x lead over the
-//     heap-only reference on the spin-wave distribution, and the
+//     heap-only reference on the spin-wave distribution, the
 //     snapshot-forked warm sweep must not lose to the cold sweep by more
 //     than 10% (steady-state it wins; the slack absorbs timer noise on
-//     loaded runners).
+//     loaded runners), and checkpoint recording must stay within 2.5x of
+//     the same cell run plain (measured ~1.8x at the default digest-mark
+//     cadence; the headroom absorbs runner load, not a lost fast path).
 //
 // Usage:
 //
@@ -115,6 +117,14 @@ func gate(baselinePath, prPath string, tolerance float64) ([]string, error) {
 		failures = append(failures, fmt.Sprintf(
 			"snapshot fork: warm sweep %.0f ms vs cold %.0f ms — warm must stay within 1.10x of cold",
 			warmB.NsPerOp/1e6, cold.NsPerOp/1e6))
+	}
+	off, on := cur.Benchmarks["replay_record_off"], cur.Benchmarks["replay_record_on"]
+	if off.NsPerOp <= 0 || on.NsPerOp <= 0 {
+		failures = append(failures, "replay_record_on/replay_record_off missing from PR snapshot")
+	} else if on.NsPerOp > off.NsPerOp*2.5 {
+		failures = append(failures, fmt.Sprintf(
+			"checkpoint recording: %.0f ms/run vs %.0f ms plain — overhead %.2fx, want <= 2.5x",
+			on.NsPerOp/1e6, off.NsPerOp/1e6, on.NsPerOp/off.NsPerOp))
 	}
 
 	return failures, nil

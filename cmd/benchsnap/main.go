@@ -26,6 +26,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/replay"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -191,6 +192,33 @@ func run(out string, cores int, benches []string) error {
 		}
 		rate.Observe(res.Stats.Cycles, time.Since(start))
 	}
+	// Checkpoint-recording overhead: the same reference cell with the
+	// recorder off (plain RunBenchmark) and on (RecordBenchmark at the
+	// default digest-mark cadence). The gate bounds the on/off wall-clock
+	// ratio; kernel_hot_path above is the recording-off 0 allocs/op
+	// guarantee — the replay layer never touches the kernel's inner loop.
+	ckP, err := workload.ByName("fft")
+	if err != nil {
+		return err
+	}
+	ckOpts := experiments.Options{Cores: cores}
+	snap.Benchmarks["replay_record_off"] = record(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunBenchmark(ckP, setup, workload.StyleScalable, ckOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	snap.Benchmarks["replay_record_on"] = record(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RecordBenchmark(ckP, setup, workload.StyleScalable, ckOpts, replay.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	cells, cycles, wall := rate.Snapshot()
 	snap.SimRate = simRate{
 		Benchmarks:      benches,

@@ -20,6 +20,23 @@
 // timelines of sync phases, critical sections, callback block/wake
 // episodes, and network messages on a shared cycle axis.
 //
+// Time-travel debugging (see internal/replay):
+//
+// -replay=FROM[:TO] records the run with digest checkpoints
+// (-checkpoint-interval cycles apart), then re-executes only the
+// [FROM,TO) window with the -trace/-trace-chrome sinks attached — a
+// Chrome trace of any window without re-simulating (or re-tracing) the
+// prefix. The printed stats are the machine's cumulative stats at the
+// window's end boundary. -spill=DIR persists each recording's digest
+// marks as a versioned JSON blob.
+//
+// -bisect=setupA,setupB runs the benchmark under both setups and
+// reports the first divergent cycle, the component digests that differ
+// there, and the first differing trace event. -chaos and -seed apply to
+// side B only, so "-bisect CB-One,CB-One -chaos evict-storm=0.05"
+// bisects a fault-free run against its chaos twin and pinpoints the
+// first injected fault that perturbed machine state.
+//
 // Example:
 //
 //	cbsim -bench radiosity -setup CB-One -cores 64
@@ -33,29 +50,48 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"text/tabwriter"
 
 	"repro/internal/chaos"
+	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/replay"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
+// cli holds the parsed command-line configuration.
+type cli struct {
+	bench, setupName, style string
+	cores, entries, traceN  int
+	chromePath, chaosSpec   string
+	seed, watchdog          uint64
+	replayWin, bisectPair   string
+	ckInterval              uint64
+	spillDir                string
+}
+
 func main() {
-	bench := flag.String("bench", "radiosity", "benchmark name (see -list)")
-	setupName := flag.String("setup", "CB-One", "protocol setup: Invalidation, BackOff-{0,5,10,15}, CB-All, CB-One")
-	cores := flag.Int("cores", 64, "simulated cores (perfect square, <= 64)")
-	style := flag.String("style", "scalable", "synchronization style: scalable (CLH+TreeSR) or naive (T&T&S+SR)")
-	entries := flag.Int("entries", 4, "callback directory entries per bank")
-	traceN := flag.Int("trace", 0, "print the last N protocol/network trace events")
-	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace-event JSON file (view in chrome://tracing or Perfetto)")
-	chaosSpec := flag.String("chaos", "", "fault-injection spec (e.g. all, or noc-delay=0.01,evict-storm=0.05; empty/off = disabled)")
-	seed := flag.Uint64("seed", 1, "fault-injection seed (same spec+seed replays the same faults)")
-	watchdog := flag.Uint64("watchdog", 0, "liveness watchdog window in cycles (0 = default: armed only under -chaos)")
+	var c cli
+	flag.StringVar(&c.bench, "bench", "radiosity", "benchmark name (see -list)")
+	flag.StringVar(&c.setupName, "setup", "CB-One", "protocol setup: Invalidation, BackOff-{0,5,10,15}, CB-All, CB-One")
+	flag.IntVar(&c.cores, "cores", 64, "simulated cores (perfect square, <= 64)")
+	flag.StringVar(&c.style, "style", "scalable", "synchronization style: scalable (CLH+TreeSR) or naive (T&T&S+SR)")
+	flag.IntVar(&c.entries, "entries", 4, "callback directory entries per bank")
+	flag.IntVar(&c.traceN, "trace", 0, "print the last N protocol/network trace events")
+	flag.StringVar(&c.chromePath, "trace-chrome", "", "write a Chrome trace-event JSON file (view in chrome://tracing or Perfetto)")
+	flag.StringVar(&c.chaosSpec, "chaos", "", "fault-injection spec (e.g. all, or noc-delay=0.01,evict-storm=0.05; empty/off = disabled)")
+	flag.Uint64Var(&c.seed, "seed", 1, "fault-injection seed (same spec+seed replays the same faults)")
+	flag.Uint64Var(&c.watchdog, "watchdog", 0, "liveness watchdog window in cycles (0 = default: armed only under -chaos)")
+	flag.StringVar(&c.replayWin, "replay", "", "record the run, then re-execute only the window FROM[:TO) with tracing attached (cycles; TO defaults to the run's end)")
+	flag.StringVar(&c.bisectPair, "bisect", "", "bisect setupA,setupB to the first divergent cycle and component; -chaos/-seed apply to side B only")
+	flag.Uint64Var(&c.ckInterval, "checkpoint-interval", 0, "replay checkpoint/digest-mark cadence K in cycles (0 = default 16384)")
+	flag.StringVar(&c.spillDir, "spill", "", "spill recording digest marks as versioned JSON blobs into this directory")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -74,11 +110,11 @@ func main() {
 	}
 	// Validate the core count before any construction: a bad value would
 	// otherwise only surface as a deep machine-build panic.
-	if err := machine.ValidateCores(*cores); err != nil {
+	if err := machine.ValidateCores(c.cores); err != nil {
 		fmt.Fprintln(os.Stderr, "cbsim:", err)
 		os.Exit(1)
 	}
-	if err := run(*bench, *setupName, *cores, *style, *entries, *traceN, *traceChrome, *chaosSpec, *seed, *watchdog); err != nil {
+	if err := run(c); err != nil {
 		// A liveness failure carries a per-core dump: print where every
 		// core was stuck, not just that the run made no progress.
 		var npe *machine.NoProgressError
@@ -90,48 +126,54 @@ func main() {
 	}
 }
 
-func run(bench, setupName string, cores int, style string, entries, traceN int, chromePath, chaosSpec string, seed, watchdog uint64) error {
-	p, err := workload.ByName(bench)
+func run(c cli) error {
+	p, err := workload.ByName(c.bench)
 	if err != nil {
 		return err
 	}
-	setup, err := experiments.SetupByName(setupName)
+	setup, err := experiments.SetupByName(c.setupName)
 	if err != nil {
 		return err
 	}
 	st := workload.StyleScalable
-	switch strings.ToLower(style) {
+	switch strings.ToLower(c.style) {
 	case "scalable":
 	case "naive":
 		st = workload.StyleNaive
 	default:
-		return fmt.Errorf("unknown style %q", style)
+		return fmt.Errorf("unknown style %q", c.style)
 	}
 	// ^C / SIGTERM aborts the simulation cleanly between kernel events.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	var ring *trace.Ring
-	opts := experiments.Options{Cores: cores, CBEntries: entries, Context: ctx, Watchdog: watchdog}
-	spec, err := chaos.Parse(chaosSpec)
+	opts := experiments.Options{Cores: c.cores, CBEntries: c.entries, Context: ctx, Watchdog: c.watchdog}
+	spec, err := chaos.Parse(c.chaosSpec)
 	if err != nil {
 		return err
 	}
 	if spec.Active() {
 		opts.Chaos = spec
-		opts.ChaosSeed = seed
-		if watchdog == 0 {
+		opts.ChaosSeed = c.seed
+		if c.watchdog == 0 {
 			opts.Watchdog = machine.DefaultWatchdogWindow
 		}
 	}
+	ro := replay.Options{Interval: c.ckInterval, SpillDir: c.spillDir}
+
+	if c.bisectPair != "" {
+		return runBisect(c, p, st, opts, ro)
+	}
+
 	var sinks trace.Multi
-	if traceN > 0 {
-		ring = trace.NewRing(traceN)
+	if c.traceN > 0 {
+		ring = trace.NewRing(c.traceN)
 		sinks = append(sinks, ring)
 	}
 	var cw *trace.ChromeWriter
 	var chromeFile *os.File
-	if chromePath != "" {
-		f, err := os.Create(chromePath)
+	if c.chromePath != "" {
+		f, err := os.Create(c.chromePath)
 		if err != nil {
 			return err
 		}
@@ -139,35 +181,63 @@ func run(bench, setupName string, cores int, style string, entries, traceN int, 
 		cw = trace.NewChromeWriter(f)
 		sinks = append(sinks, cw)
 	}
-	switch len(sinks) {
-	case 0:
-	case 1:
-		opts.Trace = sinks[0]
-	default:
-		opts.Trace = sinks
-	}
-	res, err := experiments.RunBenchmark(p, setup, st, opts)
-	if err != nil {
-		return err
+
+	var s machine.Stats
+	var e energy.Breakdown
+	headline := ""
+	if c.replayWin != "" {
+		// Record untraced, then re-execute only the requested window
+		// with the trace sinks attached.
+		from, to, err := parseWindow(c.replayWin)
+		if err != nil {
+			return err
+		}
+		rec, err := experiments.RecordBenchmark(p, setup, st, opts, ro)
+		if err != nil {
+			return err
+		}
+		if to == 0 || to > rec.End() {
+			to = rec.End()
+		}
+		fmt.Fprintf(os.Stderr, "recorded %s/%s: cycles [0,%d), %d digest marks (K=%d), %d deferred checkpoints\n",
+			p.Name, setup.Name, rec.End(), len(rec.Marks()), rec.Interval(), rec.Deferred())
+		s, err = rec.Replay(from, to, sinks...)
+		if err != nil {
+			return err
+		}
+		e = experiments.EnergyOf(s)
+		headline = fmt.Sprintf(" — replayed window [%d,%d)", from, to)
+	} else {
+		switch len(sinks) {
+		case 0:
+		case 1:
+			opts.Trace = sinks[0]
+		default:
+			opts.Trace = sinks
+		}
+		res, err := experiments.RunBenchmark(p, setup, st, opts)
+		if err != nil {
+			return err
+		}
+		s, e = res.Stats, res.Energy
 	}
 	if cw != nil {
 		if err := cw.Close(); err != nil {
-			return fmt.Errorf("finalizing %s: %w", chromePath, err)
+			return fmt.Errorf("finalizing %s: %w", c.chromePath, err)
 		}
 		if err := chromeFile.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", chromePath)
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", c.chromePath)
 	}
 	if ring != nil {
 		fmt.Fprintf(os.Stderr, "--- last %d trace events (%s) ---\n", ring.Len(), trace.Summarize(ring.Events()))
 		ring.Dump(os.Stderr)
 	}
 
-	s := res.Stats
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	defer w.Flush()
-	fmt.Fprintf(w, "benchmark\t%s (%s, %s sync, %d cores, %s)\n", p.Name, p.Suite, st, cores, setup.Name)
+	fmt.Fprintf(w, "benchmark\t%s (%s, %s sync, %d cores, %s)%s\n", p.Name, p.Suite, st, c.cores, setup.Name, headline)
 	fmt.Fprintf(w, "execution time\t%d cycles\n", s.Cycles)
 	fmt.Fprintf(w, "instructions\t%d\n", s.Instructions)
 	fmt.Fprintf(w, "memory ops\t%d\n", s.MemOps)
@@ -179,9 +249,9 @@ func run(bench, setupName string, cores int, style string, entries, traceN int, 
 			s.CBDirAccesses, s.CBInstalls, s.CBEvictions, s.CBWakes, s.CBStaleWakes)
 	}
 	if spec.Active() {
-		c := s.Chaos
+		cs := s.Chaos
 		fmt.Fprintf(w, "chaos (seed %d)\t%d delayed msgs (%d+%d cycles), %d forced evictions, %d spurious wakes, %d wake-delay cycles, %d LLC-jitter cycles\n",
-			seed, c.NoCDelays, c.NoCDelayCycles, c.HopJitterCycles, c.ForcedEvictions, c.SpuriousWakes, c.WakeDelayCycles, c.LLCJitterCycles)
+			c.seed, cs.NoCDelays, cs.NoCDelayCycles, cs.HopJitterCycles, cs.ForcedEvictions, cs.SpuriousWakes, cs.WakeDelayCycles, cs.LLCJitterCycles)
 	}
 	fmt.Fprintf(w, "backoff stall\t%d cycles\n", s.BackoffCycles)
 	for k := isa.SyncAcquire; k < isa.NumSyncKinds; k++ {
@@ -191,10 +261,53 @@ func run(bench, setupName string, cores int, style string, entries, traceN int, 
 		fmt.Fprintf(w, "sync %s\t%d episodes, mean %.0f cycles, %d LLC accesses\n",
 			k, s.SyncEntries[k], s.SyncLatency(k), s.LLCSyncByKind[k])
 	}
-	e := res.Energy
 	fmt.Fprintf(w, "energy (pJ)\tL1 %.3g, LLC %.3g, network %.3g, cbdir %.3g, total %.3g\n",
 		e.L1, e.LLC, e.Network, e.CBDir, e.Total())
 	return nil
+}
+
+// runBisect runs the -bisect mode: the benchmark under two setups (side
+// B carrying the -chaos/-seed faults, side A always fault-free) bisected
+// to the first divergent cycle.
+func runBisect(c cli, p workload.Profile, st workload.SyncStyle, opts experiments.Options, ro replay.Options) error {
+	names := strings.Split(c.bisectPair, ",")
+	if len(names) != 2 {
+		return fmt.Errorf("-bisect wants two comma-separated setups, e.g. CB-One,CB-One or Invalidation,CB-One")
+	}
+	sa, err := experiments.SetupByName(strings.TrimSpace(names[0]))
+	if err != nil {
+		return err
+	}
+	sb, err := experiments.SetupByName(strings.TrimSpace(names[1]))
+	if err != nil {
+		return err
+	}
+	oa := opts
+	oa.Chaos, oa.ChaosSeed = nil, 0
+	rp, err := experiments.BisectBenchmark(p, st, sa, oa, sb, opts, ro)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rp.String())
+	return nil
+}
+
+// parseWindow parses the -replay argument: "FROM" or "FROM:TO" (cycle
+// boundaries; TO 0 or omitted means the run's end).
+func parseWindow(s string) (from, to uint64, err error) {
+	fromStr, toStr, colon := strings.Cut(s, ":")
+	if from, err = strconv.ParseUint(fromStr, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("-replay: bad FROM %q", fromStr)
+	}
+	if colon && toStr != "" {
+		if to, err = strconv.ParseUint(toStr, 10, 64); err != nil {
+			return 0, 0, fmt.Errorf("-replay: bad TO %q", toStr)
+		}
+		if to <= from {
+			return 0, 0, fmt.Errorf("-replay: empty window [%d,%d)", from, to)
+		}
+	}
+	return from, to, nil
 }
 
 func pct(a, b uint64) float64 {

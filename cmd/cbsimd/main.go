@@ -20,9 +20,21 @@
 //	GET    /v1/jobs/{id}/events stream progress (NDJSON)
 //	GET    /v1/jobs/{id}/result final per-cell stats + energy (JSON)
 //	GET    /v1/jobs/{id}/trace  Chrome trace JSON (jobs submitted with trace=true)
+//	GET    /v1/jobs/{id}/replay windowed re-execution of a checkpointed job:
+//	                            ?from=&to= select the cycle window, trace=true
+//	                            returns its Chrome trace instead of stats
+//	GET    /v1/jobs/{id}/bisect first divergence vs ?against=<setup> (exact
+//	                            cycle, component, and first differing event)
 //	GET    /metrics             Prometheus text: queue/worker/cache gauges + simulator histograms
 //	GET    /healthz             liveness + draining flag
 //	GET    /debug/pprof/        Go profiling endpoints (only with -pprof)
+//
+// Jobs submitted with checkpoints=true (single-cell only) are recorded
+// for time-travel debugging: the daemon keeps digest marks every
+// checkpoint_interval cycles plus a bounded ring of live replay cursors,
+// so any [from,to) window of the run can be re-executed — and traced —
+// without re-simulating the prefix. Replayed windows are verified
+// against the recording's digest marks as they run.
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: running cells finish,
 // queued jobs fail with a retryable status, and the process exits 0

@@ -68,15 +68,23 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 // simCorePkgs are the deterministic simulator-core packages: everything
 // that executes inside a single-goroutine simulated machine and must be
 // bit-reproducible run to run. The sweep/service layers (experiments,
-// service, obs, trace, metrics) are intentionally excluded — they own
-// the worker pools and wall-clock concerns. chaos is in: its fault
+// service, obs, metrics) are intentionally excluded — they own the
+// worker pools and wall-clock concerns. chaos is in: its fault
 // decisions execute inside the machine and must replay bit-identically
-// from the seeded RNG (which is also snapshot/restored).
+// from the seeded RNG (which is also snapshot/restored). digest and
+// replay are in: a state digest or a checkpointed re-execution that
+// depends on wall clocks, map order, or goroutine interleaving would
+// make recordings unverifiable and bisection verdicts unsound. trace is
+// in: replayed windows promise byte-identical rendered traces, so sink
+// output must not depend on map order (a ChromeWriter balancing
+// truncated episodes at Close once did, and only windowed replay could
+// expose it).
 var simCorePkgs = map[string]bool{
 	"sim": true, "machine": true, "cpu": true, "core": true,
 	"isa": true, "mesi": true, "vips": true, "noc": true,
 	"cache": true, "mem": true, "memtypes": true, "synclib": true,
-	"workload": true, "chaos": true,
+	"workload": true, "chaos": true, "digest": true, "replay": true,
+	"trace": true,
 }
 
 // IsSimCore reports whether the import path names a simulator-core

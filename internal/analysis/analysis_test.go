@@ -17,9 +17,11 @@ func TestIsSimCore(t *testing.T) {
 		{"repro/internal/machine", true},
 		{"repro/internal/memtypes", true},
 		{"repro/internal/sim/fixture", true}, // synthetic fixture paths
+		{"repro/internal/digest", true},
+		{"repro/internal/replay", true},
+		{"repro/internal/trace", true},
 		{"repro/internal/experiments", false},
 		{"repro/internal/obs", false},
-		{"repro/internal/trace", false},
 		{"repro/internal/analysis", false},
 		{"repro/cmd/cbsim", false},
 		{"fmt", false},

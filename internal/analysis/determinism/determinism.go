@@ -24,7 +24,7 @@ var Analyzer = &analysis.Analyzer{
 	Doc: `forbid nondeterminism in simulator-core packages
 
 Flags, in internal/{sim,machine,cpu,core,isa,mesi,vips,noc,cache,mem,
-memtypes,synclib,workload}:
+memtypes,synclib,workload,chaos,digest,replay,trace}:
 
   - calls to wall-clock functions (time.Now, time.Since, ...): simulated
     time is kernel cycles, never host time

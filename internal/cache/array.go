@@ -31,6 +31,16 @@ type Array[P any] struct {
 	setBits int
 	tick    uint64
 
+	// occ[s] is the set's valid-way bitmask (bit w = way w holds a valid
+	// line). It exists for the scans — Digest, State, CountValid — which
+	// would otherwise touch every way of every set: an LLC bank keeps
+	// 4096 mostly-invalid line slots, and a replay digest scans every
+	// bank of the machine each mark. The mask lets those skip empty sets
+	// without pulling the line backing into cache. Maintained by
+	// Allocate/Invalidate/SetState and re-synced by ForEach (whose
+	// visitor may clear Valid).
+	occ []uint64
+
 	// Accesses counts Lookup calls; Hits counts those that hit.
 	Accesses uint64
 	Hits     uint64
@@ -42,6 +52,9 @@ type Array[P any] struct {
 func NewArray[P any](totalBytes, assoc int) *Array[P] {
 	if totalBytes <= 0 || assoc <= 0 {
 		panic("cache: size and associativity must be positive")
+	}
+	if assoc > 64 {
+		panic(fmt.Sprintf("cache: associativity %d exceeds the 64-way occupancy mask", assoc))
 	}
 	lines := totalBytes / memtypes.LineBytes
 	if lines%assoc != 0 {
@@ -60,6 +73,7 @@ func NewArray[P any](totalBytes, assoc int) *Array[P] {
 		sets:    sets,
 		assoc:   assoc,
 		setBits: bits.TrailingZeros(uint(numSets)),
+		occ:     make([]uint64, numSets),
 	}
 }
 
@@ -105,22 +119,30 @@ func (a *Array[P]) Peek(addr memtypes.Addr) *Line[P] {
 	return nil
 }
 
+// victimWay returns the (set, way) Allocate would replace for addr: an
+// invalid way if one exists, otherwise the LRU way.
+func (a *Array[P]) victimWay(addr memtypes.Addr) (int, int) {
+	s := a.setIndex(addr)
+	set := a.sets[s]
+	victim := 0
+	for i := range set {
+		if !set[i].Valid {
+			return s, i
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	return s, victim
+}
+
 // Victim returns the line that Allocate would replace for addr: an invalid
 // way if one exists, otherwise the LRU way. The returned line may be valid
 // (the caller must write it back or invalidate it before reuse).
 //cbsim:hotpath
 func (a *Array[P]) Victim(addr memtypes.Addr) *Line[P] {
-	set := a.sets[a.setIndex(addr)]
-	var victim *Line[P]
-	for i := range set {
-		if !set[i].Valid {
-			return &set[i]
-		}
-		if victim == nil || set[i].lru < victim.lru {
-			victim = &set[i]
-		}
-	}
-	return victim
+	s, w := a.victimWay(addr)
+	return &a.sets[s][w]
 }
 
 // Allocate installs addr's line into the array, replacing the victim way.
@@ -130,21 +152,29 @@ func (a *Array[P]) Allocate(addr memtypes.Addr) (line *Line[P], evicted *Line[P]
 	if l := a.Peek(addr); l != nil {
 		panic(fmt.Sprintf("cache: allocating already-present line %s", addr.Line()))
 	}
-	v := a.Victim(addr)
+	s, w := a.victimWay(addr)
+	v := &a.sets[s][w]
 	if v.Valid {
 		ev := *v
 		evicted = &ev
 	}
 	a.tick++
 	*v = Line[P]{Valid: true, Addr: addr.Line(), lru: a.tick}
+	a.occ[s] |= 1 << w
 	return v, evicted
 }
 
 // Invalidate drops addr's line if present and reports whether it did.
 func (a *Array[P]) Invalidate(addr memtypes.Addr) bool {
-	if l := a.Peek(addr); l != nil {
-		*l = Line[P]{}
-		return true
+	line := addr.Line()
+	s := a.setIndex(addr)
+	set := a.sets[s]
+	for w := range set {
+		if set[w].Valid && set[w].Addr == line {
+			set[w] = Line[P]{}
+			a.occ[s] &^= 1 << w
+			return true
+		}
 	}
 	return false
 }
@@ -152,10 +182,12 @@ func (a *Array[P]) Invalidate(addr memtypes.Addr) bool {
 // ForEach visits every valid line. The visitor may mutate the line's State
 // and Data; setting Valid false invalidates it.
 func (a *Array[P]) ForEach(fn func(*Line[P])) {
-	for s := range a.sets {
-		for i := range a.sets[s] {
-			if a.sets[s][i].Valid {
-				fn(&a.sets[s][i])
+	for s, m := range a.occ {
+		for ; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			fn(&a.sets[s][w])
+			if !a.sets[s][w].Valid {
+				a.occ[s] &^= 1 << w
 			}
 		}
 	}
@@ -164,6 +196,8 @@ func (a *Array[P]) ForEach(fn func(*Line[P])) {
 // CountValid returns the number of valid lines.
 func (a *Array[P]) CountValid() int {
 	n := 0
-	a.ForEach(func(*Line[P]) { n++ })
+	for _, m := range a.occ {
+		n += bits.OnesCount64(m)
+	}
 	return n
 }

@@ -1,5 +1,7 @@
 package cache
 
+import "math/bits"
+
 // This file implements deterministic snapshot/restore for machine
 // warm-starts (machine.Snapshot). Only the mutable state is captured —
 // valid lines (including their unexported LRU stamps), the LRU tick, and
@@ -30,11 +32,10 @@ type ArrayState[P any] struct {
 // State captures the array's mutable state.
 func (a *Array[P]) State() ArrayState[P] {
 	st := ArrayState[P]{Tick: a.tick, Accesses: a.Accesses, Hits: a.Hits}
-	for s := range a.sets {
-		for w := range a.sets[s] {
-			if a.sets[s][w].Valid {
-				st.Lines = append(st.Lines, SavedLine[P]{Set: s, Way: w, Line: a.sets[s][w]})
-			}
+	for s, m := range a.occ {
+		for ; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			st.Lines = append(st.Lines, SavedLine[P]{Set: s, Way: w, Line: a.sets[s][w]})
 		}
 	}
 	return st
@@ -47,8 +48,12 @@ func (a *Array[P]) SetState(st ArrayState[P]) {
 	for s := range a.sets {
 		clear(a.sets[s])
 	}
+	clear(a.occ)
 	for _, sl := range st.Lines {
 		a.sets[sl.Set][sl.Way] = sl.Line
+		if sl.Line.Valid {
+			a.occ[sl.Set] |= 1 << sl.Way
+		}
 	}
 	a.tick = st.Tick
 	a.Accesses = st.Accesses

@@ -1,0 +1,41 @@
+package digest
+
+import "testing"
+
+// The digest must be a stable, order-sensitive pure function of the
+// folded values: equal inputs agree, any perturbation disagrees, and the
+// constant below pins cross-process stability (an FNV parameter change
+// would silently invalidate every spilled recording).
+func TestHashStability(t *testing.T) {
+	h := New()
+	h.U64(42)
+	h.Bool(true)
+	h.Str("cb.wake")
+	h.Int(-1)
+	const want = uint64(0x6f43b30c3d453c4f)
+	if got := h.Sum(); got != want {
+		t.Fatalf("digest changed: got %#x want %#x", got, want)
+	}
+}
+
+func TestHashDistinguishes(t *testing.T) {
+	sum := func(f func(h *Hash)) uint64 {
+		h := New()
+		f(h)
+		return h.Sum()
+	}
+	base := sum(func(h *Hash) { h.U64(1); h.U64(2) })
+	for name, other := range map[string]uint64{
+		"swapped order":  sum(func(h *Hash) { h.U64(2); h.U64(1) }),
+		"extra value":    sum(func(h *Hash) { h.U64(1); h.U64(2); h.U64(0) }),
+		"boolean flip":   sum(func(h *Hash) { h.U64(1); h.Bool(true) }),
+		"string reslice": sum(func(h *Hash) { h.Str("ab"); h.Str("c") }),
+	} {
+		if other == base {
+			t.Errorf("%s collides with base", name)
+		}
+	}
+	if sum(func(h *Hash) { h.Str("ab"); h.Str("c") }) == sum(func(h *Hash) { h.Str("a"); h.Str("bc") }) {
+		t.Error("string boundary not captured")
+	}
+}

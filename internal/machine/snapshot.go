@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/chaos"
@@ -36,6 +37,57 @@ import (
 // counters. Identity is pinned by TestSnapshotRestoreIdentity and the
 // warm-vs-cold sweep tests in internal/experiments.
 
+// ErrNotQuiescent reports a Snapshot attempted on a machine that is not
+// quiescent. Match with errors.Is; the concrete error is a
+// *NotQuiescentError carrying the in-flight counts. The replay
+// checkpoint recorder relies on this sentinel to distinguish "try again
+// at the next quiescent point" (deferred checkpoint) from a real
+// failure.
+var ErrNotQuiescent = errors.New("machine: not quiescent")
+
+// NotQuiescentError is the diagnostic payload behind ErrNotQuiescent:
+// where the machine was and how much transient state blocked the
+// snapshot.
+type NotQuiescentError struct {
+	// Cycle is the kernel clock at the refused snapshot.
+	Cycle uint64
+	// PendingEvents counts scheduled-but-unfired kernel events.
+	PendingEvents int
+	// LiveMessages counts in-flight NoC messages.
+	LiveMessages int
+	// Detail names component-level transient state (a pending L1
+	// operation, a busy directory line) when the queue counts alone
+	// don't explain the refusal.
+	Detail string
+}
+
+// Is makes errors.Is(err, ErrNotQuiescent) match. It also matches
+// sim.ErrNotQuiescent, which pre-dated this sentinel, so callers
+// checking either keep working.
+func (e *NotQuiescentError) Is(target error) bool {
+	return target == ErrNotQuiescent || target == sim.ErrNotQuiescent
+}
+
+func (e *NotQuiescentError) Error() string {
+	msg := fmt.Sprintf("machine: not quiescent at cycle %d: %d pending events, %d in-flight messages",
+		e.Cycle, e.PendingEvents, e.LiveMessages)
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	return msg
+}
+
+// notQuiescent builds the error with the machine's current in-flight
+// counts.
+func (m *Machine) notQuiescent(detail string) *NotQuiescentError {
+	return &NotQuiescentError{
+		Cycle:         m.K.Now(),
+		PendingEvents: m.K.Pending(),
+		LiveMessages:  m.Mesh.LiveMessages(),
+		Detail:        detail,
+	}
+}
+
 // Snapshot is a deep, deterministic copy of a quiescent machine's
 // mutable state.
 type Snapshot struct {
@@ -54,14 +106,16 @@ type Snapshot struct {
 // Snapshot captures the machine's complete mutable state. It fails
 // unless the machine is quiescent: no pending events, no in-flight
 // messages, and no transient protocol state anywhere.
+// The error on a non-quiescent machine matches ErrNotQuiescent and
+// carries the pending-event and in-flight-message counts.
 func (m *Machine) Snapshot() (*Snapshot, error) {
 	kernel, err := m.K.State()
 	if err != nil {
-		return nil, fmt.Errorf("machine: snapshot: %w", err)
+		return nil, m.notQuiescent("")
 	}
 	mesh, err := m.Mesh.State()
 	if err != nil {
-		return nil, fmt.Errorf("machine: snapshot: %w", err)
+		return nil, m.notQuiescent("")
 	}
 	s := &Snapshot{
 		cfg:      m.cfg,
@@ -77,14 +131,14 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 	for _, t := range m.vipsTiles {
 		st, err := t.State()
 		if err != nil {
-			return nil, fmt.Errorf("machine: snapshot: %w", err)
+			return nil, m.notQuiescent(err.Error())
 		}
 		s.vips = append(s.vips, st)
 	}
 	for _, t := range m.mesiTiles {
 		st, err := t.State()
 		if err != nil {
-			return nil, fmt.Errorf("machine: snapshot: %w", err)
+			return nil, m.notQuiescent(err.Error())
 		}
 		s.mesi = append(s.mesi, st)
 	}

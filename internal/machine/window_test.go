@@ -1,0 +1,115 @@
+package machine
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// The replay contract: a run chopped into RunToCycle segments fires the
+// identical events — and accumulates byte-identical Stats — as one
+// uninterrupted Run.
+func TestRunToCycleByteIdentity(t *testing.T) {
+	for _, p := range []Protocol{ProtocolMESI, ProtocolBackoff, ProtocolCallback} {
+		cfg := Default(p)
+		cfg.Cores = 4
+
+		ref := New(cfg, nil)
+		loadSmoke(ref)
+		if err := ref.Run(1_000_000); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		want := ref.Stats()
+
+		m := New(cfg, nil)
+		loadSmoke(m)
+		var done bool
+		var err error
+		for target := uint64(64); !done; target += 64 {
+			if done, err = m.RunToCycle(target); err != nil {
+				t.Fatalf("%v: RunToCycle(%d): %v", p, target, err)
+			}
+			if target > 1_000_000 {
+				t.Fatalf("%v: no completion within 1M cycles", p)
+			}
+		}
+		if got := m.Stats(); !reflect.DeepEqual(want, got) {
+			t.Fatalf("%v: chunked Stats differ from Run:\nwant %+v\ngot  %+v", p, want, got)
+		}
+	}
+}
+
+// smokeEnd runs the smoke workload to completion and returns its end
+// cycle, so boundary-based tests scale with the workload.
+func smokeEnd(t *testing.T, cfg Config) uint64 {
+	t.Helper()
+	m := New(cfg, nil)
+	loadSmoke(m)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	end := m.Stats().Cycles
+	if end < 8 {
+		t.Fatalf("smoke workload too short to chunk: %d cycles", end)
+	}
+	return end
+}
+
+// Two machines paused at the same cycle boundary by different chunkings
+// hold identical mid-run Stats and identical state digests: the
+// boundary, not the path to it, determines the state.
+func TestRunToCycleBoundaryIndependence(t *testing.T) {
+	cfg := Default(ProtocolCallback)
+	cfg.Cores = 4
+	boundary := smokeEnd(t, cfg) / 2
+
+	a := New(cfg, nil)
+	loadSmoke(a)
+	if done, err := a.RunToCycle(boundary); err != nil || done {
+		t.Fatalf("one-shot RunToCycle(%d): done=%v err=%v", boundary, done, err)
+	}
+
+	b := New(cfg, nil)
+	loadSmoke(b)
+	for target := uint64(7); target < boundary; target += 7 {
+		if done, err := b.RunToCycle(target); err != nil || done {
+			t.Fatalf("stepped RunToCycle(%d): done=%v err=%v", target, done, err)
+		}
+	}
+	if done, err := b.RunToCycle(boundary); err != nil || done {
+		t.Fatalf("stepped RunToCycle(%d): done=%v err=%v", boundary, done, err)
+	}
+
+	if as, bs := a.Stats(), b.Stats(); !reflect.DeepEqual(as, bs) {
+		t.Fatalf("mid-run Stats depend on chunking:\none-shot %+v\nstepped  %+v", as, bs)
+	}
+	if ad, bd := a.Digest(ScopeFull), b.Digest(ScopeFull); ad != bd {
+		t.Fatalf("mid-run digests depend on chunking: %#x vs %#x", ad, bd)
+	}
+}
+
+// A refused mid-run snapshot is errors.Is-able against the sentinel and
+// carries the in-flight counts that explain the refusal.
+func TestNotQuiescentErrorDetails(t *testing.T) {
+	cfg := Default(ProtocolCallback)
+	cfg.Cores = 4
+	m := New(cfg, nil)
+	loadSmoke(m)
+	if done, err := m.RunToCycle(50); err != nil || done {
+		t.Fatalf("RunToCycle(50): done=%v err=%v", done, err)
+	}
+	_, err := m.Snapshot()
+	if err == nil {
+		t.Fatal("Snapshot of a mid-run machine must fail")
+	}
+	if !errors.Is(err, ErrNotQuiescent) {
+		t.Fatalf("error %v is not errors.Is ErrNotQuiescent", err)
+	}
+	var nq *NotQuiescentError
+	if !errors.As(err, &nq) {
+		t.Fatalf("error %v is not a *NotQuiescentError", err)
+	}
+	if nq.PendingEvents == 0 && nq.LiveMessages == 0 && nq.Detail == "" {
+		t.Fatalf("NotQuiescentError carries no diagnosis: %+v", nq)
+	}
+}

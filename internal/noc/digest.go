@@ -1,0 +1,35 @@
+package noc
+
+import (
+	"repro/internal/digest"
+)
+
+// Digest folds the mesh's mutable state: per-link idle clocks and busy
+// accumulators, traffic counters, and the live-message count. The chaos
+// FIFO floors are deliberately excluded — chaosClamp records a floor on
+// every send once fault injection is enabled, even for zero-cycle
+// draws, so including them would make a chaos run digest-diverge from a
+// fault-free twin before any fault materializes. An injected delay that
+// actually perturbs traffic still shows up here, through linkFree and
+// the downstream timing it shifts.
+func (m *Mesh) Digest(h *digest.Hash) {
+	for n := range m.linkFree {
+		for d := 0; d < int(numDirs); d++ {
+			h.U64(m.linkFree[n][d])
+			h.U64(m.linkBusy[n][d])
+		}
+	}
+	h.Int(m.live)
+	m.stats.Digest(h)
+}
+
+// Digest folds every Stats field in declaration order. This is the
+// struct's digest manifest: a new counter must be folded here too, or
+// replay verification goes blind to it.
+func (s *Stats) Digest(h *digest.Hash) {
+	h.U64(s.Messages)
+	h.U64(s.Flits)
+	h.U64(s.FlitHops)
+	h.U64(s.Hops)
+	h.U64(s.LinkWait)
+}

@@ -63,6 +63,17 @@ type JobRequest struct {
 	// always freshly simulated (never served from cache) so the trace
 	// matches the reported result.
 	Trace bool `json:"trace,omitempty"`
+	// Checkpoints records the simulation for time-travel debugging:
+	// digest marks every CheckpointInterval cycles plus a live replay
+	// cursor ring, retrievable through GET /v1/jobs/{id}/replay (windowed
+	// re-execution, optionally traced) and GET /v1/jobs/{id}/bisect
+	// (first-divergence search against another setup). Only single-cell
+	// jobs may be checkpointed, and a checkpointed cell is always freshly
+	// simulated — the recording must be the run the result reports.
+	Checkpoints bool `json:"checkpoints,omitempty"`
+	// CheckpointInterval is the digest-mark cadence K in cycles
+	// (default replay.DefaultInterval). Ignored without Checkpoints.
+	CheckpointInterval uint64 `json:"checkpoint_interval,omitempty"`
 }
 
 // CellSpec is one fully-normalized (benchmark x setup) simulation cell:
@@ -269,4 +280,47 @@ type CellResult struct {
 type JobResult struct {
 	ID    string       `json:"id"`
 	Cells []CellResult `json:"cells"`
+}
+
+// ReplayResponse is the body of GET /v1/jobs/{id}/replay without
+// trace=true: the mid-run Stats (and their energy accounting) at the
+// window's end boundary, plus the recording's geometry. With trace=true
+// the endpoint serves the window's Chrome trace JSON instead.
+type ReplayResponse struct {
+	ID string `json:"id"`
+	// From/To are the replayed window (To clamped to End).
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+	// End is the recording's exclusive end boundary [0,End).
+	End uint64 `json:"end"`
+	// Interval is the digest-mark cadence K; Marks the mark count.
+	Interval uint64 `json:"interval"`
+	Marks    int    `json:"marks"`
+	// Deferred counts checkpoint attempts deferred on non-quiescence.
+	Deferred int              `json:"deferred_checkpoints"`
+	Stats    machine.Stats    `json:"stats"`
+	Energy   energy.Breakdown `json:"energy"`
+}
+
+// BisectResponse is the body of GET /v1/jobs/{id}/bisect?against=SETUP:
+// the first-divergence report between the job's cell and the same cell
+// under another setup.
+type BisectResponse struct {
+	ID string `json:"id"`
+	A  string `json:"a"`
+	B  string `json:"b"`
+	// Scope is "full" (DigestCompatible sides) or "arch".
+	Scope         string `json:"scope"`
+	Interval      uint64 `json:"interval"`
+	MarksCompared int    `json:"marks_compared"`
+	Diverged      bool   `json:"diverged"`
+	// Cycle and Components locate the first divergence (when Diverged).
+	Cycle      uint64   `json:"cycle,omitempty"`
+	Components []string `json:"components,omitempty"`
+	AEvent     string   `json:"a_event,omitempty"`
+	BEvent     string   `json:"b_event,omitempty"`
+	AEnd       uint64   `json:"a_end"`
+	BEnd       uint64   `json:"b_end"`
+	// Report is the rendered human-readable report.
+	Report string `json:"report"`
 }

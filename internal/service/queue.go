@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"sync"
+
+	"repro/internal/replay"
 )
 
 // job is the server-side state of one submitted job: its normalized
@@ -20,6 +22,11 @@ type job struct {
 	// traceData holds the rendered JSON once the cell completes.
 	traceWanted bool
 
+	// checkpoints marks single-cell jobs that requested a time-travel
+	// recording; ckInterval is the requested mark cadence (0 = default).
+	checkpoints bool
+	ckInterval  uint64
+
 	// onFinish, when set, is called exactly once with the terminal state
 	// (outside j.mu) — the server uses it to journal the transition.
 	onFinish func(state string)
@@ -34,6 +41,21 @@ type job struct {
 	notify    chan struct{} // closed and replaced on every append
 	results   []CellResult  // indexed by cell, filled as cells complete
 	traceData []byte
+	rec       *replay.Recording // checkpointed jobs, once the cell completes
+}
+
+// setRecording stores the completed cell's time-travel recording.
+func (j *job) setRecording(r *replay.Recording) {
+	j.mu.Lock()
+	j.rec = r
+	j.mu.Unlock()
+}
+
+// recording returns the stored recording, if the cell has completed.
+func (j *job) recording() *replay.Recording {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec
 }
 
 // setTrace stores the rendered Chrome trace.

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// checkpointedJob submits a quick single-cell job with checkpoints on
+// and waits for it to finish.
+func checkpointedJob(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	st, code := submit(t, ts, JobRequest{
+		Benchmark: "fft", Setup: "CB-One", Cores: 4,
+		Checkpoints: true, CheckpointInterval: 512,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	waitState(t, ts, st.ID, StateDone)
+	return st.ID
+}
+
+func getBody(t *testing.T, ts *httptest.Server, path string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, resp.StatusCode
+}
+
+// The replay endpoint: the full-window Stats must be byte-identical to
+// the job's reported result (same run, re-executed), sub-windows must
+// parse, and repeated traced windows must serve identical bytes.
+func TestReplayEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	id := checkpointedJob(t, ts)
+
+	body, code := getBody(t, ts, "/v1/jobs/"+id+"/replay")
+	if code != http.StatusOK {
+		t.Fatalf("replay status = %d: %s", code, body)
+	}
+	var full ReplayResponse
+	if err := json.Unmarshal(body, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.From != 0 || full.To != full.End || full.End == 0 {
+		t.Fatalf("default window = [%d,%d) of end %d, want the whole run", full.From, full.To, full.End)
+	}
+	if full.Interval != 512 {
+		t.Fatalf("interval = %d, want the requested 512", full.Interval)
+	}
+
+	res := getResult(t, ts, id)
+	var pl cellPayload
+	if err := json.Unmarshal(res.Cells[0].Data, &pl); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pl.Stats, full.Stats) {
+		t.Fatalf("full-window replay Stats differ from the job result:\nresult %+v\nreplay %+v", pl.Stats, full.Stats)
+	}
+	if !reflect.DeepEqual(pl.Energy, full.Energy) {
+		t.Fatalf("full-window replay energy differs from the job result:\nresult %+v\nreplay %+v", pl.Energy, full.Energy)
+	}
+
+	// A sub-window returns mid-run stats for exactly that boundary.
+	from, to := full.End/3, 2*full.End/3
+	body, code = getBody(t, ts, "/v1/jobs/"+id+"/replay?from="+u64s(from)+"&to="+u64s(to))
+	if code != http.StatusOK {
+		t.Fatalf("window status = %d: %s", code, body)
+	}
+	var win ReplayResponse
+	if err := json.Unmarshal(body, &win); err != nil {
+		t.Fatal(err)
+	}
+	if win.From != from || win.To != to {
+		t.Fatalf("window = [%d,%d), want [%d,%d)", win.From, win.To, from, to)
+	}
+
+	// Traced windows are byte-identical across requests: the replay is a
+	// re-execution of the same recorded run, not a new simulation.
+	t1, code := getBody(t, ts, "/v1/jobs/"+id+"/replay?from="+u64s(from)+"&to="+u64s(to)+"&trace=true")
+	if code != http.StatusOK {
+		t.Fatalf("trace status = %d: %s", code, t1)
+	}
+	t2, _ := getBody(t, ts, "/v1/jobs/"+id+"/replay?from="+u64s(from)+"&to="+u64s(to)+"&trace=true")
+	if !bytes.Equal(t1, t2) {
+		t.Fatalf("traced window differs across requests: %d vs %d bytes", len(t1), len(t2))
+	}
+	if !json.Valid(t1) {
+		t.Fatal("traced window is not valid JSON")
+	}
+
+	// Bad windows and bad cycle counts are user errors.
+	if _, code := getBody(t, ts, "/v1/jobs/"+id+"/replay?from=10&to=10"); code != http.StatusBadRequest {
+		t.Fatalf("empty window status = %d, want 400", code)
+	}
+	if _, code := getBody(t, ts, "/v1/jobs/"+id+"/replay?from=abc"); code != http.StatusBadRequest {
+		t.Fatalf("bad from status = %d, want 400", code)
+	}
+}
+
+// Jobs without checkpoints=true must 404 on the time-travel endpoints,
+// and multi-cell checkpoint requests must be rejected at submit.
+func TestReplayEndpointValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	st, code := submit(t, ts, JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	waitState(t, ts, st.ID, StateDone)
+	if _, code := getBody(t, ts, "/v1/jobs/"+st.ID+"/replay"); code != http.StatusNotFound {
+		t.Fatalf("replay of non-checkpointed job = %d, want 404", code)
+	}
+	if _, code := getBody(t, ts, "/v1/jobs/"+st.ID+"/bisect?against=CB-All"); code != http.StatusNotFound {
+		t.Fatalf("bisect of non-checkpointed job = %d, want 404", code)
+	}
+
+	if _, code := submit(t, ts, JobRequest{
+		Benchmarks: []string{"fft", "lu"}, Setup: "CB-One", Cores: 4, Checkpoints: true,
+	}); code != http.StatusBadRequest {
+		t.Fatalf("multi-cell checkpoints submit = %d, want 400", code)
+	}
+}
+
+// The bisect endpoint: identical setups agree everywhere; a different
+// protocol diverges at architectural scope with a concrete cycle and
+// component list; bad arguments are user errors.
+func TestBisectEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	id := checkpointedJob(t, ts)
+
+	body, code := getBody(t, ts, "/v1/jobs/"+id+"/bisect?against=CB-One")
+	if code != http.StatusOK {
+		t.Fatalf("self-bisect status = %d: %s", code, body)
+	}
+	var self BisectResponse
+	if err := json.Unmarshal(body, &self); err != nil {
+		t.Fatal(err)
+	}
+	if self.Diverged {
+		t.Fatalf("a setup bisected against itself diverged:\n%s", self.Report)
+	}
+	if self.Scope != "full" {
+		t.Fatalf("self-bisect scope = %q, want full", self.Scope)
+	}
+
+	body, code = getBody(t, ts, "/v1/jobs/"+id+"/bisect?against=Invalidation")
+	if code != http.StatusOK {
+		t.Fatalf("cross-protocol bisect status = %d: %s", code, body)
+	}
+	var cross BisectResponse
+	if err := json.Unmarshal(body, &cross); err != nil {
+		t.Fatal(err)
+	}
+	if !cross.Diverged {
+		t.Fatalf("CB-One vs Invalidation did not diverge:\n%s", cross.Report)
+	}
+	if cross.Scope != "arch" {
+		t.Fatalf("cross-protocol scope = %q, want arch", cross.Scope)
+	}
+	if len(cross.Components) == 0 || cross.Report == "" {
+		t.Fatalf("divergence report incomplete: %+v", cross)
+	}
+
+	if _, code := getBody(t, ts, "/v1/jobs/"+id+"/bisect"); code != http.StatusBadRequest {
+		t.Fatalf("missing against = %d, want 400", code)
+	}
+	if _, code := getBody(t, ts, "/v1/jobs/"+id+"/bisect?against=NoSuchSetup"); code != http.StatusBadRequest {
+		t.Fatalf("unknown against = %d, want 400", code)
+	}
+}
+
+func u64s(v uint64) string { return strconv.FormatUint(v, 10) }

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/replay"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -169,6 +171,9 @@ func (s *Server) makeJob(id string, req JobRequest) (*job, error) {
 	if req.Trace && len(cells) != 1 {
 		return nil, fmt.Errorf("trace requires a single-cell job (request expands to %d cells)", len(cells))
 	}
+	if req.Checkpoints && len(cells) != 1 {
+		return nil, fmt.Errorf("checkpoints require a single-cell job (request expands to %d cells)", len(cells))
+	}
 	par := req.Parallelism
 	if par <= 0 || par > s.cfg.Parallelism {
 		par = s.cfg.Parallelism
@@ -182,6 +187,8 @@ func (s *Server) makeJob(id string, req JobRequest) (*job, error) {
 	}
 	j := newJob(id, cells, par, ctx, cancel)
 	j.traceWanted = req.Trace
+	j.checkpoints = req.Checkpoints
+	j.ckInterval = req.CheckpointInterval
 	if s.journal != nil {
 		j.onFinish = func(state string) {
 			if err := s.journal.append(journalRecord{Op: "done", ID: id, State: state}); err != nil {
@@ -275,6 +282,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/replay", s.handleReplay)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/bisect", s.handleBisect)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 }
@@ -361,7 +370,7 @@ func (s *Server) runCell(j *job, i int) (err error) {
 		}
 	}()
 	key := c.Key(s.cfg.VersionSalt)
-	if data, ok := s.cache.Get(key); ok && !j.traceWanted {
+	if data, ok := s.cache.Get(key); ok && !j.traceWanted && !j.checkpoints {
 		s.cellsCached.Inc()
 		j.cellDone(i, CellResult{Cached: true, Data: data}, Event{
 			Type: "cell_done", Job: j.id, Cell: i + 1, Cells: len(j.cells),
@@ -376,6 +385,9 @@ func (s *Server) runCell(j *job, i int) (err error) {
 	setup, err := experiments.SetupByName(c.Setup)
 	if err != nil {
 		return err // unreachable: validated at submit
+	}
+	if j.checkpoints {
+		return s.runCheckpointedCell(j, i, c, p, setup, key)
 	}
 	var wall time.Duration
 	co := experiments.Options{
@@ -435,6 +447,62 @@ func (s *Server) runCell(j *job, i int) (err error) {
 		Type: "cell_done", Job: j.id, Cell: i + 1, Cells: len(j.cells),
 		Benchmark: c.Benchmark, Setup: c.Setup,
 		Cycles: res.Stats.Cycles, WallMS: wallMS(wall),
+	})
+	return nil
+}
+
+// runCheckpointedCell resolves a cell by recording it for time-travel
+// debugging: the returned Stats (and so the cached payload) are
+// byte-identical to a plain run's — the replay contract — with the
+// recording retained on the job for GET /replay and /bisect. A requested
+// Chrome trace is produced by replaying the full window, which by the
+// same contract matches the trace a plain traced run would emit.
+func (s *Server) runCheckpointedCell(j *job, i int, c CellSpec, p workload.Profile, setup experiments.Setup, key string) error {
+	j.emit(Event{
+		Type: "cell_start", Job: j.id, Cell: i + 1, Cells: len(j.cells),
+		Benchmark: c.Benchmark, Setup: c.Setup,
+	})
+	co := experiments.Options{
+		Cores:     c.Cores,
+		CBEntries: c.Entries,
+		Limit:     c.Limit,
+		Context:   j.ctx,
+	}
+	start := time.Now()
+	rec, err := experiments.RecordBenchmark(p, setup, c.SyncStyle(), co,
+		replay.Options{Interval: j.ckInterval, Context: j.ctx})
+	if err != nil {
+		var npe *machine.NoProgressError
+		if errors.As(err, &npe) {
+			s.cfg.Logf("job %s cell %d (%s/%s) made no progress:\n%s", j.id, i+1, c.Benchmark, c.Setup, npe.Dump())
+		}
+		return err
+	}
+	wall := time.Since(start)
+	j.setRecording(rec)
+	st := rec.Stats()
+	if j.traceWanted {
+		var chrome bytes.Buffer
+		cw := trace.NewChromeWriter(&chrome)
+		if _, err := rec.ReplayContext(j.ctx, 0, rec.End(), cw); err != nil {
+			return fmt.Errorf("tracing recorded run %s/%s: %w", c.Benchmark, c.Setup, err)
+		}
+		if err := cw.Close(); err != nil {
+			return fmt.Errorf("finalizing trace for %s/%s: %w", c.Benchmark, c.Setup, err)
+		}
+		j.setTrace(chrome.Bytes())
+	}
+	data, err := json.Marshal(cellPayload{Spec: c, Stats: st, Energy: experiments.EnergyOf(st)})
+	if err != nil {
+		return fmt.Errorf("marshaling result for %s/%s: %w", c.Benchmark, c.Setup, err)
+	}
+	s.cache.Put(key, data)
+	s.cellsSimulated.Inc()
+	s.simRate.Observe(st.Cycles, wall)
+	j.cellDone(i, CellResult{WallMS: wallMS(wall), Data: data}, Event{
+		Type: "cell_done", Job: j.id, Cell: i + 1, Cells: len(j.cells),
+		Benchmark: c.Benchmark, Setup: c.Setup,
+		Cycles: st.Cycles, WallMS: wallMS(wall),
 	})
 	return nil
 }
@@ -635,6 +703,145 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
+}
+
+// checkpointedJob resolves the path's job and its recording for the
+// time-travel endpoints: 404 for unknown jobs and for jobs submitted
+// without checkpoints=true, 409 while the recording is still being
+// captured. The returned recording is non-nil exactly when ok.
+func (s *Server) checkpointedJob(w http.ResponseWriter, r *http.Request) (*job, *replay.Recording, bool) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return nil, nil, false
+	}
+	if !j.checkpoints {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("job %q was not submitted with checkpoints=true", j.id)})
+		return nil, nil, false
+	}
+	rec := j.recording()
+	if rec == nil {
+		writeJSON(w, http.StatusConflict, j.status())
+		return nil, nil, false
+	}
+	return j, rec, true
+}
+
+// queryU64 parses an unsigned query parameter, defaulting when absent.
+func queryU64(r *http.Request, name string, def uint64) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: want an unsigned cycle count", name, v)
+	}
+	return n, nil
+}
+
+// handleReplay re-executes a window [from,to) of a checkpointed job's
+// recording. Without trace=true it returns the mid-run Stats and energy
+// at the window's end boundary; with trace=true it returns the window's
+// Chrome trace-event JSON — the trace of any slice of the run, produced
+// without re-simulating the prefix when a parked replay cursor covers
+// it. Digest marks crossed during the re-execution are verified against
+// the recording, so a served window is evidence, not a guess.
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	j, rec, ok := s.checkpointedJob(w, r)
+	if !ok {
+		return
+	}
+	from, err := queryU64(r, "from", 0)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	to, err := queryU64(r, "to", rec.End())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if to > rec.End() {
+		to = rec.End()
+	}
+	if from >= to {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("empty window [%d,%d) (recording covers [0,%d))", from, to, rec.End())})
+		return
+	}
+	wantTrace := r.URL.Query().Get("trace") == "true" || r.URL.Query().Get("trace") == "1"
+	var sinks []trace.Sink
+	var chrome bytes.Buffer
+	var cw *trace.ChromeWriter
+	if wantTrace {
+		cw = trace.NewChromeWriter(&chrome)
+		sinks = append(sinks, cw)
+	}
+	st, err := rec.ReplayContext(r.Context(), from, to, sinks...)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	if wantTrace {
+		if err := cw.Close(); err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(chrome.Bytes())
+		return
+	}
+	writeJSON(w, http.StatusOK, ReplayResponse{
+		ID: j.id, From: from, To: to, End: rec.End(),
+		Interval: rec.Interval(), Marks: len(rec.Marks()), Deferred: rec.Deferred(),
+		Stats: st, Energy: experiments.EnergyOf(st),
+	})
+}
+
+// handleBisect runs a first-divergence bisection between the job's cell
+// and the same cell under the setup named by ?against=. Both sides are
+// re-recorded fresh (the stored recording's marks anchor nothing across
+// digest scopes), so this is a debugging endpoint costing about two full
+// simulations; it runs synchronously on the request.
+func (s *Server) handleBisect(w http.ResponseWriter, r *http.Request) {
+	j, rec, ok := s.checkpointedJob(w, r)
+	if !ok {
+		return
+	}
+	against := r.URL.Query().Get("against")
+	if against == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing against=<setup> query parameter"})
+		return
+	}
+	sb, err := experiments.SetupByName(against)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	c := j.cells[0]
+	p, err := workload.ByName(c.Benchmark)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return // unreachable: validated at submit
+	}
+	sa, err := experiments.SetupByName(c.Setup)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return // unreachable: validated at submit
+	}
+	o := experiments.Options{Cores: c.Cores, CBEntries: c.Entries, Limit: c.Limit, Context: r.Context()}
+	ro := replay.Options{Interval: rec.Interval(), Context: r.Context()}
+	rp, err := experiments.BisectBenchmark(p, c.SyncStyle(), sa, o, sb, o, ro)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, BisectResponse{
+		ID: j.id, A: rp.ALabel, B: rp.BLabel,
+		Scope: rp.Scope.String(), Interval: rp.Interval, MarksCompared: rp.MarksCompared,
+		Diverged: rp.Diverged, Cycle: rp.Cycle, Components: rp.Components,
+		AEvent: rp.AEvent, BEvent: rp.BEvent, AEnd: rp.AEnd, BEnd: rp.BEnd,
+		Report: rp.String(),
+	})
 }
 
 // handleEvents streams the job's event log as NDJSON: everything so far

@@ -451,6 +451,55 @@ func (k *Kernel) RunUntil(limit uint64, cond func() bool) error {
 	return errors.New("sim: event queue drained before condition held")
 }
 
+// RunToBoundary fires every event scheduled strictly before cycle target
+// and none at or after it, pausing the kernel exactly at the boundary.
+// Unlike Run/RunUntil it never bumps the clock to the boundary: Now()
+// stays at the last fired event's time, so a run chopped into boundary
+// segments executes the identical event sequence — and leaves identical
+// state — as one uninterrupted run. This is the replay subsystem's
+// chunking primitive: checkpoints and state digests are only comparable
+// across runs when they are taken at exact cycle boundaries.
+//
+// It returns true when it paused at the boundary (or the queue drained),
+// false when cond stopped it first. cond, when non-nil, is checked after
+// each event, exactly like RunUntil's.
+//cbsim:hotpath
+func (k *Kernel) RunToBoundary(target uint64, cond func() bool) bool {
+	if cond != nil && cond() {
+		return false
+	}
+	for k.Pending() > 0 {
+		if k.earliest() >= target {
+			return true
+		}
+		k.stepOne()
+		if cond != nil && cond() {
+			return false
+		}
+	}
+	return true
+}
+
+// NextEventTime reports the cycle of the earliest pending event, or
+// false when the queue is empty. Peeking does not perturb the queue —
+// the lockstep bisection scan uses it to advance two kernels to their
+// common next boundary without firing anything.
+//cbsim:hotpath
+func (k *Kernel) NextEventTime() (uint64, bool) {
+	if k.Pending() == 0 {
+		return 0, false
+	}
+	return k.earliest(), true
+}
+
+// Scheduled reports how many events have ever been scheduled (the
+// sequence counter). Together with Executed it identifies the kernel's
+// position in an execution without requiring quiescence, which makes it
+// digestible mid-run — unlike Now(), which differs between a paused and
+// an uninterrupted run even when their histories are identical (the
+// paused clock rests on the last event, not the boundary).
+func (k *Kernel) Scheduled() uint64 { return k.seq }
+
 // KernelState is the portable execution state of a quiescent kernel: with
 // no events pending, the clock, sequence counter, and executed count fully
 // determine all future behavior (machine snapshots capture and restore

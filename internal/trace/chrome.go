@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/memtypes"
 )
@@ -261,18 +262,37 @@ func (c *ChromeWriter) Close() error {
 		return nil
 	}
 	c.closed = true
-	for pid, stack := range c.openSync {
-		for range stack {
+	// Balancing order must be deterministic: a truncated stream (a
+	// replayed window ending mid-episode) leaves open slices, and two
+	// renders of the same window must be byte-identical. Sort the map
+	// keys before emitting.
+	pids := make([]int, 0, len(c.openSync))
+	for pid := range c.openSync { //cbvet:unordered — keys are sorted before emitting
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		for range c.openSync[pid] {
 			c.events = append(c.events, chromeEvent{
 				Cat: "sync", Ph: "E", Ts: c.lastCycle, Pid: pid, Tid: tidSync,
 			})
 		}
 		c.openSync[pid] = nil
 	}
-	for key, id := range c.openCB {
+	cbKeys := make([]asyncKey, 0, len(c.openCB))
+	for key := range c.openCB { //cbvet:unordered — keys are sorted before emitting
+		cbKeys = append(cbKeys, key)
+	}
+	sort.Slice(cbKeys, func(i, j int) bool {
+		if cbKeys[i].node != cbKeys[j].node {
+			return cbKeys[i].node < cbKeys[j].node
+		}
+		return cbKeys[i].addr < cbKeys[j].addr
+	})
+	for _, key := range cbKeys {
 		c.events = append(c.events, chromeEvent{
 			Name: "cb.wait", Cat: "cb", Ph: "e", Ts: c.lastCycle,
-			Pid: int(key.node), Tid: tidCallback, ID: id,
+			Pid: int(key.node), Tid: tidCallback, ID: c.openCB[key],
 		})
 	}
 	doc := struct {
