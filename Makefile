@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet vet-cb race test-debug bench bench-snapshot bench-gate ci figures fuzz chaos-litmus replay-e2e
+.PHONY: all build test vet vet-cb race test-debug bench bench-snapshot bench-gate ci figures fuzz chaos-litmus replay-e2e cycles
 
 all: build
 
@@ -79,3 +79,12 @@ ci: vet vet-cb build race test-debug bench bench-gate replay-e2e
 # figures regenerates every table of the paper at full 64-core scale.
 figures:
 	$(GO) run ./cmd/experiments -fig all
+
+# cycles produces the cycle-accounting artifacts for the reference
+# Figure-21 cell (radiosity across all 7 standard setups): folded stacks
+# text (flamegraph.pl / speedscope input) plus a gzipped pprof profile
+# (`go tool pprof -top CYCLES_pr.pb.gz`). Per-core attribution of every
+# simulated cycle; conservation is enforced by machine invariants.
+cycles:
+	$(GO) run ./cmd/cbsim -bench radiosity -cores 64 \
+		-cyclefolded CYCLES_pr.folded.txt -cycleprofile CYCLES_pr.pb.gz

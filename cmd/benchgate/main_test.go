@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, dir, name string, s snapshot) string {
+	t.Helper()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// ratioPairs are healthy same-machine ratio entries, included so the
+// diff failures under test are not drowned out by missing-ratio noise.
+func ratioPairs() map[string]benchPerf {
+	return map[string]benchPerf{
+		"spin_wave_wheel":    {NsPerOp: 100},
+		"spin_wave_heap":     {NsPerOp: 300},
+		"snapshot_fork_cold": {NsPerOp: 1e6},
+		"snapshot_fork_warm": {NsPerOp: 0.9e6},
+		"replay_record_off":  {NsPerOp: 1e6},
+		"replay_record_on":   {NsPerOp: 1.8e6},
+	}
+}
+
+// TestGateReportsAllFailuresInOneRun pins that the gate collects every
+// out-of-tolerance entry instead of stopping at the first: a single CI
+// run must show the full damage report.
+func TestGateReportsAllFailuresInOneRun(t *testing.T) {
+	dir := t.TempDir()
+	base := snapshot{Benchmarks: ratioPairs()}
+	base.Benchmarks["alloc_regressed"] = benchPerf{NsPerOp: 100, AllocsPerOp: 0}
+	base.Benchmarks["ns_cliff"] = benchPerf{NsPerOp: 100, AllocsPerOp: 2}
+	base.Benchmarks["dropped"] = benchPerf{NsPerOp: 100}
+	base.Benchmarks["healthy"] = benchPerf{NsPerOp: 100, AllocsPerOp: 1}
+
+	pr := snapshot{Benchmarks: ratioPairs()}
+	pr.Benchmarks["alloc_regressed"] = benchPerf{NsPerOp: 100, AllocsPerOp: 3}
+	pr.Benchmarks["ns_cliff"] = benchPerf{NsPerOp: 1000, AllocsPerOp: 2}
+	// "dropped" deliberately absent from the PR snapshot.
+	pr.Benchmarks["healthy"] = benchPerf{NsPerOp: 150, AllocsPerOp: 1}
+
+	failures, err := gate(
+		writeSnapshot(t, dir, "base.json", base),
+		writeSnapshot(t, dir, "pr.json", pr), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 3 {
+		t.Fatalf("failures = %d, want 3:\n%s", len(failures), strings.Join(failures, "\n"))
+	}
+	wants := []string{
+		"alloc_regressed: allocs/op 3, baseline 0",
+		"ns_cliff: 1000.0 ns/op exceeds 4x baseline 100.0",
+		"dropped: present in baseline but missing from PR snapshot",
+	}
+	for _, want := range wants {
+		found := false
+		for _, f := range failures {
+			if strings.Contains(f, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("failures missing %q:\n%s", want, strings.Join(failures, "\n"))
+		}
+	}
+	for _, f := range failures {
+		if strings.Contains(f, "healthy") {
+			t.Errorf("healthy benchmark flagged: %s", f)
+		}
+	}
+}
+
+// TestGateRatioFailuresAccumulateToo: a broken same-machine ratio is
+// reported alongside the per-benchmark diffs, not instead of them.
+func TestGateRatioFailuresAccumulateToo(t *testing.T) {
+	dir := t.TempDir()
+	base := snapshot{Benchmarks: ratioPairs()}
+	base.Benchmarks["ns_cliff"] = benchPerf{NsPerOp: 100}
+
+	pr := snapshot{Benchmarks: ratioPairs()}
+	pr.Benchmarks["ns_cliff"] = benchPerf{NsPerOp: 1000}
+	pr.Benchmarks["spin_wave_wheel"] = benchPerf{NsPerOp: 200} // lead only 1.5x
+	delete(pr.Benchmarks, "replay_record_on")
+
+	failures, err := gate(
+		writeSnapshot(t, dir, "base.json", base),
+		writeSnapshot(t, dir, "pr.json", pr), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ns cliff + wheel lead lost + replay pair missing twice (as a
+	// dropped baseline benchmark and as a broken ratio).
+	wants := []string{
+		"ns_cliff: 1000.0 ns/op",
+		"lead 1.50x, want >= 2x",
+		"replay_record_on/replay_record_off missing",
+		"replay_record_on: present in baseline but missing",
+	}
+	for _, want := range wants {
+		found := false
+		for _, f := range failures {
+			if strings.Contains(f, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("failures missing %q:\n%s", want, strings.Join(failures, "\n"))
+		}
+	}
+}
+
+// TestGateCleanRunPasses: matching snapshots with healthy ratios
+// produce no failures.
+func TestGateCleanRunPasses(t *testing.T) {
+	dir := t.TempDir()
+	s := snapshot{Benchmarks: ratioPairs()}
+	s.Benchmarks["kernel"] = benchPerf{NsPerOp: 42, AllocsPerOp: 0}
+	failures, err := gate(
+		writeSnapshot(t, dir, "base.json", s),
+		writeSnapshot(t, dir, "pr.json", s), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("clean run produced failures:\n%s", strings.Join(failures, "\n"))
+	}
+}

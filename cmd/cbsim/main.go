@@ -30,6 +30,18 @@
 // window's end boundary. -spill=DIR persists each recording's digest
 // marks as a versioned JSON blob.
 //
+// Cycle accounting (see internal/cycles):
+//
+// -cycleprofile=out.pb.gz sweeps the benchmark across ALL standard
+// setups with per-core cycle accounting attached and writes the
+// resulting cycle stacks as a gzipped pprof profile — `go tool pprof
+// -top out.pb.gz` shows where the simulated time goes (compute, cache
+// and coherence stalls, spin-wait vs cb-blocked, barrier wait, NoC
+// transit, idle), with setup/core/sync-phase as the call-stack frames.
+// -cyclefolded=out.txt writes the same data as folded stacks text
+// (flamegraph.pl input). Either flag also prints the per-setup
+// category-share table instead of the usual single-run stats.
+//
 // -bisect=setupA,setupB runs the benchmark under both setups and
 // reports the first divergent cycle, the component digests that differ
 // there, and the first differing trace event. -chaos and -seed apply to
@@ -56,6 +68,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/chaos"
+	"repro/internal/cycles"
 	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/isa"
@@ -74,6 +87,8 @@ type cli struct {
 	replayWin, bisectPair   string
 	ckInterval              uint64
 	spillDir                string
+	cycleProfile            string
+	cycleFolded             string
 }
 
 func main() {
@@ -92,6 +107,8 @@ func main() {
 	flag.StringVar(&c.bisectPair, "bisect", "", "bisect setupA,setupB to the first divergent cycle and component; -chaos/-seed apply to side B only")
 	flag.Uint64Var(&c.ckInterval, "checkpoint-interval", 0, "replay checkpoint/digest-mark cadence K in cycles (0 = default 16384)")
 	flag.StringVar(&c.spillDir, "spill", "", "spill recording digest marks as versioned JSON blobs into this directory")
+	flag.StringVar(&c.cycleProfile, "cycleprofile", "", "sweep all standard setups with cycle accounting and write a gzipped pprof profile (view with go tool pprof)")
+	flag.StringVar(&c.cycleFolded, "cyclefolded", "", "sweep all standard setups with cycle accounting and write folded stacks text (flamegraph.pl input)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -163,6 +180,9 @@ func run(c cli) error {
 
 	if c.bisectPair != "" {
 		return runBisect(c, p, st, opts, ro)
+	}
+	if c.cycleProfile != "" || c.cycleFolded != "" {
+		return runCycleProfile(c, st, opts)
 	}
 
 	var sinks trace.Multi
@@ -263,6 +283,44 @@ func run(c cli) error {
 	}
 	fmt.Fprintf(w, "energy (pJ)\tL1 %.3g, LLC %.3g, network %.3g, cbdir %.3g, total %.3g\n",
 		e.L1, e.LLC, e.Network, e.CBDir, e.Total())
+	return nil
+}
+
+// runCycleProfile runs the -cycleprofile/-cyclefolded mode: the
+// benchmark under every standard setup with cycle accounting attached,
+// writing the per-setup stacks as a gzipped pprof profile and/or folded
+// stacks text and printing the category-share table.
+func runCycleProfile(c cli, st workload.SyncStyle, opts experiments.Options) error {
+	res, err := experiments.RunCycleStacks(c.bench, experiments.StandardSetups(), st, opts)
+	if err != nil {
+		return err
+	}
+	write := func(path string, emit func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if c.cycleProfile != "" {
+		err := write(c.cycleProfile, func(f *os.File) error { return cycles.WritePprof(f, res.Stacks) })
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote pprof cycle profile to %s (go tool pprof -top %s)\n", c.cycleProfile, c.cycleProfile)
+	}
+	if c.cycleFolded != "" {
+		err := write(c.cycleFolded, func(f *os.File) error { return cycles.WriteFolded(f, res.Stacks) })
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote folded cycle stacks to %s\n", c.cycleFolded)
+	}
+	fmt.Print(res.Table.String())
 	return nil
 }
 

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-fig all|1|20|21|22|23|sens|headline] [-cores N] [-parallel N] [-v] [-bench a,b,c]
+//	experiments [-fig all|1|20|21|22|23|sens|headline|cycles] [-cores N] [-parallel N] [-v] [-bench a,b,c]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With the defaults (64 cores, all 19 benchmarks) the full run takes
@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: all, 1, 20, 21, 22, 23, sens, headline, naive, locks, quiesce, idle")
+	fig := flag.String("fig", "all", "which figure to regenerate: all, 1, 20, 21, 22, 23, sens, headline, naive, locks, quiesce, idle, cycles")
 	cores := flag.Int("cores", 64, "simulated cores (perfect square, <= 64)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines per sweep (1 = serial; results are identical either way)")
@@ -227,6 +227,20 @@ func run(fig string, o experiments.Options) error {
 	}); err != nil {
 		return err
 	}
+	if err := show("cycles", func() error {
+		fmt.Fprintln(os.Stderr, "running cycle-stack accounting sweep...")
+		bench := "radiosity"
+		if len(o.Benchmarks) > 0 {
+			bench = o.Benchmarks[0]
+		}
+		res, err := experiments.RunCycleStacks(bench, experiments.StandardSetups(), workload.StyleScalable, o)
+		if err != nil {
+			return err
+		}
+		return emit("cycles", res.Table)
+	}); err != nil {
+		return err
+	}
 	if err := show("headline", func() error {
 		fmt.Println(experiments.ComputeHeadline(scal))
 		return nil
@@ -237,7 +251,7 @@ func run(fig string, o experiments.Options) error {
 		return nil
 	}
 	switch fig {
-	case "1", "20", "21", "22", "23", "headline", "quiesce", "naive", "locks", "idle":
+	case "1", "20", "21", "22", "23", "headline", "quiesce", "naive", "locks", "idle", "cycles":
 		return nil
 	}
 	return fmt.Errorf("unknown figure %q", fig)

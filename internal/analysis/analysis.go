@@ -78,13 +78,15 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 // in: replayed windows promise byte-identical rendered traces, so sink
 // output must not depend on map order (a ChromeWriter balancing
 // truncated episodes at Close once did, and only windowed replay could
-// expose it).
+// expose it). cycles is in: the accounting hooks run inside the
+// machine, the stacks land in Stats, and the profile emission promises
+// byte-stable output for identical runs.
 var simCorePkgs = map[string]bool{
 	"sim": true, "machine": true, "cpu": true, "core": true,
 	"isa": true, "mesi": true, "vips": true, "noc": true,
 	"cache": true, "mem": true, "memtypes": true, "synclib": true,
 	"workload": true, "chaos": true, "digest": true, "replay": true,
-	"trace": true,
+	"trace": true, "cycles": true,
 }
 
 // IsSimCore reports whether the import path names a simulator-core

@@ -20,6 +20,7 @@ func TestIsSimCore(t *testing.T) {
 		{"repro/internal/digest", true},
 		{"repro/internal/replay", true},
 		{"repro/internal/trace", true},
+		{"repro/internal/cycles", true},
 		{"repro/internal/experiments", false},
 		{"repro/internal/obs", false},
 		{"repro/internal/analysis", false},

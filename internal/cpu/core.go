@@ -10,6 +10,7 @@ package cpu
 import (
 	"fmt"
 
+	"repro/internal/cycles"
 	"repro/internal/isa"
 	"repro/internal/memtypes"
 	"repro/internal/sim"
@@ -86,6 +87,11 @@ type Core struct {
 	// is observational only — it must not change timing.
 	observer func(cycle uint64, what, note string, arg uint64)
 
+	// cyc, when set, receives cycle-accounting events (retired batches,
+	// backoff waits, memory-stall boundaries). Observational only, like
+	// observer.
+	cyc cycles.Hook
+
 	stats Stats
 }
 
@@ -138,6 +144,27 @@ func (c *Core) SetObserver(fn func(cycle uint64, what, note string, arg uint64))
 	c.observer = fn
 }
 
+// SetCyclesObserver installs the cycle-accounting hook (nil disables).
+func (c *Core) SetCyclesObserver(fn cycles.Hook) { c.cyc = fn }
+
+// curKind is the innermost synchronization phase the core is in.
+func (c *Core) curKind() isa.SyncKind {
+	if n := len(c.syncStack); n > 0 {
+		return c.syncStack[n-1].kind
+	}
+	return isa.SyncNone
+}
+
+// flushExec reports the batch cycles retired since the last flush to the
+// cycle-accounting hook, attributed to the current innermost sync phase.
+func (c *Core) flushExec(elapsed uint64, rep *uint64) {
+	if c.cyc == nil || elapsed == *rep {
+		return
+	}
+	c.cyc(int(c.id), cycles.EvExec, 0, elapsed-*rep, uint64(c.curKind()))
+	*rep = elapsed
+}
+
 // Run assigns prog and schedules the core to begin at the given delay.
 func (c *Core) Run(prog *isa.Program, delay uint64) {
 	if c.started {
@@ -165,8 +192,10 @@ const maxBatch = 4096
 // finishes.
 func (c *Core) step() {
 	var elapsed uint64 // cycles consumed within this batch
+	var rep uint64     // cycles of this batch already flushed to c.cyc
 	for n := 0; ; n++ {
 		if n >= maxBatch {
+			c.flushExec(elapsed, &rep)
 			c.k.Schedule(elapsed, c.step)
 			return
 		}
@@ -229,6 +258,7 @@ func (c *Core) step() {
 			c.pc++
 		case isa.SyncBegin:
 			kind := isa.SyncKind(in.ImmVal)
+			c.flushExec(elapsed, &rep) // cycles so far belong to the outer phase
 			c.syncStack = append(c.syncStack, syncFrame{
 				kind:  kind,
 				start: c.k.Now() + elapsed,
@@ -241,6 +271,7 @@ func (c *Core) step() {
 			if len(c.syncStack) == 0 {
 				panic(fmt.Sprintf("cpu: core %d SyncEnd without SyncBegin", c.id))
 			}
+			c.flushExec(elapsed, &rep) // cycles so far belong to the ending phase
 			top := c.syncStack[len(c.syncStack)-1]
 			c.syncStack = c.syncStack[:len(c.syncStack)-1]
 			if top.kind != isa.SyncKind(in.ImmVal) {
@@ -264,6 +295,10 @@ func (c *Core) step() {
 			if c.observer != nil {
 				c.observer(c.k.Now()+elapsed, "spin.wait", "", wait)
 			}
+			c.flushExec(elapsed, &rep)
+			if c.cyc != nil && wait > 0 {
+				c.cyc(int(c.id), cycles.EvWait, 0, wait, uint64(c.curKind()))
+			}
 			c.k.Schedule(elapsed+wait, c.step)
 			return
 		case isa.Done:
@@ -271,6 +306,10 @@ func (c *Core) step() {
 			c.stats.DoneAt = c.k.Now() + elapsed
 			if len(c.syncStack) != 0 {
 				panic(fmt.Sprintf("cpu: core %d finished inside a sync phase", c.id))
+			}
+			c.flushExec(elapsed, &rep)
+			if c.cyc != nil {
+				c.cyc(int(c.id), cycles.EvDone, c.stats.DoneAt, 0, 0)
 			}
 			if c.onDone != nil {
 				done := c.onDone
@@ -281,6 +320,7 @@ func (c *Core) step() {
 			if !in.Op.IsMem() {
 				panic(fmt.Sprintf("cpu: core %d unknown opcode %s", c.id, in.Op))
 			}
+			c.flushExec(elapsed, &rep)
 			c.issueMem(in, elapsed)
 			return
 		}
@@ -370,7 +410,14 @@ func (c *Core) issueMem(in *isa.Instr, elapsed uint64) {
 	isLoad := in.Op == isa.Ld || in.Op == isa.LdT || in.Op == isa.LdCB || in.Op == isa.RMW
 	issue := func() {
 		issuedAt := c.k.Now()
+		if c.cyc != nil {
+			c.cyc(int(c.id), cycles.EvStallBegin, issuedAt,
+				uint64(req.SyncKind), uint64(stallCategory(req.Kind)))
+		}
 		c.port.Access(req, func(resp memtypes.Response) {
+			if c.cyc != nil {
+				c.cyc(int(c.id), cycles.EvStallEnd, c.k.Now(), 0, 0)
+			}
 			if stall := c.k.Now() - issuedAt; stall >= IdleGateThreshold {
 				c.stats.MemStallCycles += stall
 			}
@@ -389,4 +436,18 @@ func (c *Core) issueMem(in *isa.Instr, elapsed uint64) {
 	} else {
 		c.k.Schedule(elapsed, issue)
 	}
+}
+
+// stallCategory picks the fallback attribution for parts of a memory
+// stall no memory-system component claims: cached ops resolve in the
+// private L1, racy/through ops at the LLC, fences in the coherence
+// machinery.
+func stallCategory(k memtypes.OpKind) cycles.Category {
+	switch k {
+	case memtypes.OpRead, memtypes.OpWrite:
+		return cycles.CatL1Stall
+	case memtypes.OpFenceSelfInvl, memtypes.OpFenceSelfDown:
+		return cycles.CatCoherenceStall
+	}
+	return cycles.CatLLCStall
 }

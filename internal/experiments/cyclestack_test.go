@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/machine"
+	"repro/internal/synclib"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// cycleSetups are the two protocol poles of the accounting figure: pure
+// invalidation (spinning shows up as spin-wait plus coherence traffic)
+// and callback-one (waiting shows up as cb-blocked).
+func cycleSetups() []Setup {
+	return []Setup{
+		{Name: "Invalidation", Protocol: machine.ProtocolMESI},
+		{Name: "CB-One", Protocol: machine.ProtocolCallback, CBOne: true},
+	}
+}
+
+// runWithCycles builds a machine from the setup's config with the
+// chosen kernel tier, attaches cycle accounting, runs the generated
+// workload, and returns the machine.
+func runWithCycles(t *testing.T, g *workload.Generated, s Setup, cores int, heapOnly bool) *machine.Machine {
+	t.Helper()
+	cfg := machineConfig(s, Options{Cores: cores, CBEntries: 4})
+	cfg.HeapOnlyKernel = heapOnly
+	m := machine.New(cfg, synclib.IsPrivate)
+	m.AttachCycles(cycles.NewAccumulator(cores))
+	for a, v := range g.Layout.Init {
+		m.Store.StoreWord(a, v)
+	}
+	for tid, prog := range g.Programs {
+		m.Load(tid, prog, nil)
+	}
+	if err := m.Run(200_000_000); err != nil {
+		t.Fatalf("%s under %s: %v", g.Profile.Name, s.Name, err)
+	}
+	return m
+}
+
+// TestCycleConservationAllProfiles is the conservation property test:
+// for every workload profile, under both protocol poles and both kernel
+// tiers, every core's cycle stack must sum EXACTLY to the run horizon —
+// no cycle lost, none double-counted. The final machine invariant check
+// enforces the same property end-to-end.
+func TestCycleConservationAllProfiles(t *testing.T) {
+	const cores = 16
+	for _, p := range workload.Profiles() {
+		for _, s := range cycleSetups() {
+			g := workload.Generate(p, cores, workload.StyleScalable, s.Flavor())
+			for _, heapOnly := range []bool{false, true} {
+				m := runWithCycles(t, g, s, cores, heapOnly)
+				st := m.Stats()
+				if st.CycleStack == nil {
+					t.Fatalf("%s/%s: no cycle stack", p.Name, s.Name)
+				}
+				if st.CycleStack.Horizon != st.Cycles {
+					t.Errorf("%s/%s heap=%v: horizon %d != run cycles %d",
+						p.Name, s.Name, heapOnly, st.CycleStack.Horizon, st.Cycles)
+				}
+				for i := range st.CycleStack.Cores {
+					if tot := st.CycleStack.Cores[i].Total(); tot != st.CycleStack.Horizon {
+						t.Fatalf("%s/%s heap=%v core %d: stack sums to %d of %d cycles",
+							p.Name, s.Name, heapOnly, i, tot, st.CycleStack.Horizon)
+					}
+				}
+				if err := m.Quiesce(1_000_000); err != nil {
+					t.Fatalf("%s/%s: %v", p.Name, s.Name, err)
+				}
+				if err := m.CheckInvariants(true); err != nil {
+					t.Fatalf("%s/%s heap=%v: %v", p.Name, s.Name, heapOnly, err)
+				}
+			}
+		}
+	}
+}
+
+// TestCycleAccountingByteIdentity pins the observational-purity
+// contract: with accounting on, every Stats field except CycleStack —
+// and the full Chrome trace — must be byte-identical to a run with
+// accounting off.
+func TestCycleAccountingByteIdentity(t *testing.T) {
+	p, err := workload.ByName("dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range cycleSetups() {
+		var stats [2]machine.Stats
+		var traces [2]bytes.Buffer
+		for i, on := range []bool{false, true} {
+			cw := trace.NewChromeWriter(&traces[i])
+			o := Options{Cores: 16, Trace: cw, CycleStacks: on}
+			r, err := RunBenchmark(p, s, workload.StyleScalable, o)
+			if err != nil {
+				t.Fatalf("%s accounting=%v: %v", s.Name, on, err)
+			}
+			if err := cw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			stats[i] = r.Stats
+		}
+		if stats[0].CycleStack != nil {
+			t.Errorf("%s: accounting off still produced a cycle stack", s.Name)
+		}
+		if stats[1].CycleStack == nil {
+			t.Fatalf("%s: accounting on produced no cycle stack", s.Name)
+		}
+		stats[1].CycleStack = nil
+		if !reflect.DeepEqual(stats[0], stats[1]) {
+			j0, _ := json.Marshal(stats[0])
+			j1, _ := json.Marshal(stats[1])
+			t.Errorf("%s: Stats differ with accounting on:\noff %s\non  %s", s.Name, j0, j1)
+		}
+		if !bytes.Equal(traces[0].Bytes(), traces[1].Bytes()) {
+			t.Errorf("%s: Chrome trace differs with accounting on (%d vs %d bytes)",
+				s.Name, traces[0].Len(), traces[1].Len())
+		}
+	}
+}
+
+// TestRunCycleStacks checks the figure runner: per-setup rows of
+// category fractions that sum to 1, showing the spin-vs-blocked split.
+func TestRunCycleStacks(t *testing.T) {
+	res, err := RunCycleStacks("dedup", cycleSetups(), workload.StyleScalable, Options{Cores: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stacks) != 2 {
+		t.Fatalf("stacks = %d, want 2", len(res.Stacks))
+	}
+	frac := func(setup, cat string) float64 {
+		row := res.Table.Row(setup)
+		if row == nil {
+			t.Fatalf("no row for %s", setup)
+		}
+		for c := cycles.Category(0); c < cycles.NumCategories; c++ {
+			if c.String() == cat {
+				return row[c]
+			}
+		}
+		t.Fatalf("no category %s", cat)
+		return 0
+	}
+	for _, s := range cycleSetups() {
+		var sum float64
+		for _, v := range res.Table.Row(s.Name) {
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: fractions sum to %f, want 1", s.Name, sum)
+		}
+	}
+	if frac("Invalidation", "spin_wait") <= 0 {
+		t.Error("Invalidation row has no spin_wait share")
+	}
+	if frac("CB-One", "cb_blocked") <= 0 {
+		t.Error("CB-One row has no cb_blocked share")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/cycles"
 	"repro/internal/energy"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -140,6 +141,12 @@ type Options struct {
 	// snapshot instead of building a new one (see warmpool.go). Results
 	// are byte-identical to cold runs; only wall-clock changes.
 	WarmStart bool
+
+	// CycleStacks attaches the cycle-accounting layer to every run:
+	// Result.Stats.CycleStack carries the per-core attribution, and the
+	// end-of-run conservation invariant is checked. Observational only —
+	// all other Stats are byte-identical with it off.
+	CycleStacks bool
 
 	// postRun, when set, is called with the machine after a successful
 	// run, before Stats are collected (chaos sweeps quiesce the event
@@ -338,6 +345,9 @@ func runGenerated(g *workload.Generated, s Setup, o Options) (Result, error) {
 		// The collector's block-matching state is per-run, so each run
 		// attaches a fresh one feeding the shared histograms.
 		m.AttachTrace(trace.NewMetricsCollector(o.Metrics))
+	}
+	if o.CycleStacks {
+		m.AttachCycles(cycles.NewAccumulator(len(m.Cores)))
 	}
 	for a, v := range g.Layout.Init {
 		m.Store.StoreWord(a, v)

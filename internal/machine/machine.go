@@ -14,6 +14,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/cycles"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/memtypes"
@@ -130,6 +131,11 @@ type Machine struct {
 	// sinks receives the machine's trace-event stream; the component
 	// observers are installed once and fan out to every attached sink.
 	sinks trace.Multi
+
+	// cyc is the cycle-accounting accumulator, nil unless AttachCycles
+	// was called. Like sinks it is observational only: the machine's
+	// simulated behaviour is byte-identical with or without it.
+	cyc *cycles.Accumulator
 
 	// chaos is the fault-injection engine shared by the mesh and banks
 	// (nil when disabled); watchdog and checkInv drive the liveness and
@@ -303,6 +309,55 @@ func (m *Machine) AttachTrace(sink trace.Sink) {
 	}
 }
 
+// AttachCycles installs a cycle-accounting accumulator: every component
+// that contributes stall attribution (cores, L1s, directory/banks, mesh)
+// gets the accumulator's Observe hook. Observational only — the purity
+// contract of AttachTrace applies identically. At most one accumulator
+// is active; attaching nil detaches.
+func (m *Machine) AttachCycles(a *cycles.Accumulator) {
+	m.cyc = a
+	var hook cycles.Hook
+	if a != nil {
+		hook = a.Observe
+	}
+	m.Mesh.SetCyclesObserver(hook)
+	for _, c := range m.Cores {
+		c.SetCyclesObserver(hook)
+	}
+	for _, t := range m.vipsTiles {
+		t.L1.SetCyclesObserver(hook)
+		t.Bank.SetCyclesObserver(hook)
+	}
+	for _, t := range m.mesiTiles {
+		t.L1.SetCyclesObserver(hook)
+		t.Dir.SetCyclesObserver(hook)
+	}
+}
+
+// CycleAccumulator returns the attached accumulator (nil when cycle
+// accounting is off).
+func (m *Machine) CycleAccumulator() *cycles.Accumulator { return m.cyc }
+
+// cycleHorizon is the horizon cycle stacks are charged to: the cycle the
+// last core retired its program, or the current kernel time if the run
+// was stopped early (or no core has finished).
+func (m *Machine) cycleHorizon() uint64 {
+	var h uint64
+	done := 0
+	for _, c := range m.Cores {
+		if c.Done() {
+			done++
+			if at := c.Stats().DoneAt; at > h {
+				h = at
+			}
+		}
+	}
+	if done < len(m.Cores) || h == 0 {
+		return m.K.Now()
+	}
+	return h
+}
+
 // ObserveMetrics folds a finished (or stopped) run's end-of-run samples
 // into sm: per-link NoC utilization over the cycles simulated, plus the
 // run counter. Event-level histograms (sync latency, spins, callback
@@ -312,6 +367,15 @@ func (m *Machine) ObserveMetrics(sm *obs.SimMetrics) {
 		m.Mesh.VisitLinkBusy(func(_ memtypes.NodeID, busy uint64) {
 			sm.LinkUtil.Observe(float64(busy) / float64(cycles))
 		})
+	}
+	if m.cyc != nil {
+		snap := m.cyc.Snapshot(m.cycleHorizon())
+		proto := m.cfg.Protocol.String()
+		for cat, total := range snap.Totals() {
+			if total > 0 {
+				sm.AddCycles(proto, cycles.Category(cat).String(), total)
+			}
+		}
 	}
 	sm.Runs.Inc()
 }

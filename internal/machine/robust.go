@@ -195,8 +195,25 @@ func (m *Machine) CheckInvariants(final bool) error {
 			return &InvariantError{Cycle: m.K.Now(),
 				Detail: fmt.Sprintf("noc: %d messages leaked (allocated, never freed)", live)}
 		}
+		if m.cyc != nil && m.allDone() {
+			// Cycle-accounting conservation: every core's stack sums
+			// exactly to the horizon (the slowest core's completion).
+			if err := m.cyc.CheckConservation(m.cycleHorizon()); err != nil {
+				return &InvariantError{Cycle: m.K.Now(), Detail: err.Error()}
+			}
+		}
 	}
 	return nil
+}
+
+// allDone reports whether every core retired its program.
+func (m *Machine) allDone() bool {
+	for _, c := range m.Cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
 }
 
 // Quiesce drains the in-flight events that remain after every core

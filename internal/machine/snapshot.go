@@ -212,4 +212,5 @@ func (m *Machine) detachObservers() {
 	for _, c := range m.Cores {
 		c.SetObserver(nil)
 	}
+	m.AttachCycles(nil)
 }

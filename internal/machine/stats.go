@@ -3,6 +3,7 @@ package machine
 import (
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/cycles"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/noc"
@@ -60,6 +61,11 @@ type Stats struct {
 	// Chaos counts injected faults (all zero when fault injection is
 	// disabled, so baselines stay byte-identical).
 	Chaos chaos.Stats
+
+	// CycleStack is the per-core cycle attribution at the run's horizon,
+	// nil unless AttachCycles was active (so Stats stay byte-identical
+	// with accounting off).
+	CycleStack *cycles.MachineStack `json:",omitempty"`
 }
 
 // SyncLatency returns the mean latency of one synchronization episode of
@@ -141,6 +147,9 @@ func (m *Machine) Stats() Stats {
 	s.Net = m.Mesh.Stats()
 	if m.chaos != nil {
 		s.Chaos = m.chaos.Stats()
+	}
+	if m.cyc != nil {
+		s.CycleStack = m.cyc.Snapshot(m.cycleHorizon())
 	}
 	return s
 }

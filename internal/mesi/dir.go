@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/chaos"
+	"repro/internal/cycles"
 	"repro/internal/mem"
 	"repro/internal/memtypes"
 	"repro/internal/noc"
@@ -62,6 +63,10 @@ type Dir struct {
 	// chaos, when non-nil, jitters LLC bank access latencies (fault
 	// injection; nil on the default path).
 	chaos *chaos.Engine
+
+	// cyc, when set, receives cycle-accounting segments for requester
+	// cores' in-flight misses (observational only).
+	cyc cycles.Hook
 
 	stats DirStats
 }
@@ -152,12 +157,31 @@ func (d *Dir) end(addr memtypes.Addr) {
 	}
 }
 
+// SetCyclesObserver installs the cycle-accounting hook (nil disables).
+func (d *Dir) SetCyclesObserver(fn cycles.Hook) { d.cyc = fn }
+
+// cycArrive closes the requester's NoC leg when its request reaches the
+// directory and, if the line is busy (the request will be deferred),
+// opens a coherence leg covering the wait behind the in-flight
+// transaction.
+func (d *Dir) cycArrive(msg *memtypes.Message) {
+	if d.cyc == nil {
+		return
+	}
+	d.cyc(int(msg.Core), cycles.EvClose, d.k.Now(), 0, 0)
+	if d.busy[msg.Addr.Line()] != nil {
+		d.cyc(int(msg.Core), cycles.EvOpen, d.k.Now(), uint64(cycles.CatCoherenceStall), 0)
+	}
+}
+
 // Deliver routes L1-to-directory messages.
 func (d *Dir) Deliver(msg *memtypes.Message) {
 	switch msg.Kind {
 	case MsgGetS:
+		d.cycArrive(msg)
 		d.admit(msg.Addr, func() { d.handleGetS(msg) })
 	case MsgGetX:
+		d.cycArrive(msg)
 		d.admit(msg.Addr, func() { d.handleGetX(msg) })
 	case MsgPutM, MsgPutE:
 		d.admit(msg.Addr, func() { d.handlePut(msg) })
@@ -175,6 +199,10 @@ func (d *Dir) Deliver(msg *memtypes.Message) {
 // transaction.
 func (d *Dir) grant(msg *memtypes.Message, kind memtypes.MsgKind, done func()) {
 	lat := d.accessLat(msg.Addr, true, reqSyncKind(msg.Req))
+	if d.cyc != nil {
+		d.cyc(int(msg.Core), cycles.EvSpan, d.k.Now(), d.k.Now()+lat,
+			uint64(cycles.CatLLCStall))
+	}
 	d.k.Schedule(lat, func() {
 		data := d.mesh.NewMessage()
 		*data = memtypes.Message{
@@ -183,6 +211,9 @@ func (d *Dir) grant(msg *memtypes.Message, kind memtypes.MsgKind, done func()) {
 			LineData: d.store.LoadLine(msg.Addr),
 		}
 		d.mesh.Send(data)
+		if d.cyc != nil {
+			d.cyc(int(data.Core), cycles.EvOpen, d.k.Now(), uint64(cycles.CatNoC), 0)
+		}
 		if done != nil {
 			done()
 		}
@@ -192,6 +223,9 @@ func (d *Dir) grant(msg *memtypes.Message, kind memtypes.MsgKind, done func()) {
 
 func (d *Dir) handleGetS(msg *memtypes.Message) {
 	d.stats.GetS++
+	if d.cyc != nil { // ends the deferral leg of a replayed request
+		d.cyc(int(msg.Core), cycles.EvClose, d.k.Now(), 0, 0)
+	}
 	l := d.line(msg.Addr)
 	r := int(msg.Src)
 	if l.owner >= 0 {
@@ -205,7 +239,13 @@ func (d *Dir) handleGetS(msg *memtypes.Message) {
 			Class: memtypes.ClassControl, Addr: msg.Addr, Core: msg.Core,
 		}
 		d.mesh.Send(fwd)
+		if d.cyc != nil { // the owner round trip is coherence work
+			d.cyc(int(msg.Core), cycles.EvOpen, d.k.Now(), uint64(cycles.CatCoherenceStall), 0)
+		}
 		t.cont = func() {
+			if d.cyc != nil {
+				d.cyc(int(msg.Core), cycles.EvClose, d.k.Now(), 0, 0)
+			}
 			l.owner = -1
 			l.sharers = 1<<uint(owner) | 1<<uint(r)
 			d.grant(msg, MsgDataS, func() { d.end(msg.Addr) })
@@ -226,6 +266,9 @@ func (d *Dir) handleGetS(msg *memtypes.Message) {
 
 func (d *Dir) handleGetX(msg *memtypes.Message) {
 	d.stats.GetX++
+	if d.cyc != nil { // ends the deferral leg of a replayed request
+		d.cyc(int(msg.Core), cycles.EvClose, d.k.Now(), 0, 0)
+	}
 	l := d.line(msg.Addr)
 	r := int(msg.Src)
 	if l.owner >= 0 && l.owner != r {
@@ -238,7 +281,13 @@ func (d *Dir) handleGetX(msg *memtypes.Message) {
 			Class: memtypes.ClassControl, Addr: msg.Addr, Core: msg.Core,
 		}
 		d.mesh.Send(fwd)
+		if d.cyc != nil { // the owner round trip is coherence work
+			d.cyc(int(msg.Core), cycles.EvOpen, d.k.Now(), uint64(cycles.CatCoherenceStall), 0)
+		}
 		t.cont = func() {
+			if d.cyc != nil {
+				d.cyc(int(msg.Core), cycles.EvClose, d.k.Now(), 0, 0)
+			}
 			l.owner = r
 			l.sharers = 0
 			d.grant(msg, MsgDataX, func() { d.end(msg.Addr) })
@@ -269,7 +318,13 @@ func (d *Dir) handleGetX(msg *memtypes.Message) {
 			}
 			toInv >>= 1
 		}
+		if d.cyc != nil { // the invalidation round is coherence work
+			d.cyc(int(msg.Core), cycles.EvOpen, d.k.Now(), uint64(cycles.CatCoherenceStall), 0)
+		}
 		t.cont = func() {
+			if d.cyc != nil {
+				d.cyc(int(msg.Core), cycles.EvClose, d.k.Now(), 0, 0)
+			}
 			l.owner = r
 			l.sharers = 0
 			d.grant(msg, MsgDataX, func() { d.end(msg.Addr) })

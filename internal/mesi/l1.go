@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/cycles"
 	"repro/internal/mem"
 	"repro/internal/memtypes"
 	"repro/internal/noc"
@@ -76,6 +77,10 @@ type L1 struct {
 	// events (tracing).
 	monObserver func(cycle uint64, addr memtypes.Addr, what string)
 
+	// cyc, when set, receives cycle-accounting segments for the core's
+	// in-flight miss (observational only).
+	cyc cycles.Hook
+
 	stats L1Stats
 }
 
@@ -86,6 +91,9 @@ func NewL1(k *sim.Kernel, id memtypes.NodeID, mesh *noc.Mesh, store *mem.Store, 
 		arr: cache.NewArray[l1Line](32*1024, 4),
 	}
 }
+
+// SetCyclesObserver installs the cycle-accounting hook (nil disables).
+func (l *L1) SetCyclesObserver(fn cycles.Hook) { l.cyc = fn }
 
 // Stats returns the L1 counters.
 func (l *L1) Stats() L1Stats { return l.stats }
@@ -128,6 +136,10 @@ func (l *L1) Access(req *memtypes.Request, done func(memtypes.Response)) {
 	kind := mapKind(req.Kind)
 	if kind.IsFence() {
 		// MESI needs no self-invalidation or self-downgrade.
+		if l.cyc != nil {
+			l.cyc(int(l.id), cycles.EvSpan, l.k.Now(),
+				l.k.Now()+mem.DefaultL1Latency, uint64(cycles.CatL1Stall))
+		}
 		l.k.Schedule(mem.DefaultL1Latency, func() { done(memtypes.Response{}) })
 		return
 	}
@@ -169,6 +181,9 @@ func (l *L1) request(kind memtypes.MsgKind, req *memtypes.Request) {
 		Core: l.id, Req: req,
 	}
 	l.mesh.Send(msg)
+	if l.cyc != nil {
+		l.cyc(int(l.id), cycles.EvOpen, l.k.Now(), uint64(cycles.CatNoC), 0)
+	}
 }
 
 // finish applies the pending operation to a resident line with the
@@ -179,6 +194,10 @@ func (l *L1) finish(line *cache.Line[l1Line], delay uint64, hit bool) {
 	req := p.req
 	w := req.Addr.WordIndex()
 	resp := memtypes.Response{Hit: hit}
+	if l.cyc != nil {
+		l.cyc(int(l.id), cycles.EvSpan, l.k.Now(), l.k.Now()+delay,
+			uint64(cycles.CatL1Stall))
+	}
 	switch mapKind(req.Kind) {
 	case memtypes.OpRead:
 		resp.Value = line.Data[w]
@@ -202,6 +221,9 @@ func (l *L1) finish(line *cache.Line[l1Line], delay uint64, hit bool) {
 func (l *L1) handleData(msg *memtypes.Message) {
 	if l.pending == nil || l.pending.req.Addr.Line() != msg.Addr {
 		panic(fmt.Sprintf("mesi: core %d unexpected data for %s", l.id, msg.Addr))
+	}
+	if l.cyc != nil {
+		l.cyc(int(l.id), cycles.EvClose, l.k.Now(), 0, 0)
 	}
 	line := l.arr.Peek(msg.Addr)
 	if line == nil {

@@ -3,6 +3,7 @@ package mesi
 import (
 	"fmt"
 
+	"repro/internal/cycles"
 	"repro/internal/mem"
 	"repro/internal/memtypes"
 )
@@ -88,6 +89,10 @@ func (l *L1) accessMonitored(req *memtypes.Request, done func(memtypes.Response)
 	l.stats.Hits++
 	l.monStats.Arms++
 	l.monObserve(req.Addr.Line(), "mon.arm")
+	if l.cyc != nil {
+		// The halted core is blocked exactly like a parked callback.
+		l.cyc(int(l.id), cycles.EvOpen, l.k.Now(), uint64(cycles.CatCBBlocked), 0)
+	}
 	l.monitor = monitorState{
 		armed: true,
 		addr:  req.Addr.Line(),
@@ -112,6 +117,9 @@ func (l *L1) monitorInvalidated(addr memtypes.Addr) {
 	resume := l.monitor.resume
 	l.monitor = monitorState{}
 	l.monObserve(addr.Line(), "mon.wake")
+	if l.cyc != nil {
+		l.cyc(int(l.id), cycles.EvClose, l.k.Now(), 0, 0)
+	}
 	// The wakeup costs one cycle of monitor logic before the reload.
 	l.k.Schedule(mem.DefaultL1Latency, resume)
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/chaos"
+	"repro/internal/cycles"
 	"repro/internal/memtypes"
 	"repro/internal/sim"
 )
@@ -76,6 +77,11 @@ type Mesh struct {
 	// observer, when set, is called on every injection and delivery
 	// (tracing).
 	observer func(cycle uint64, msg *memtypes.Message, what string)
+
+	// cyc, when set, receives injection/delivery events keyed by the
+	// message's core tag for the cycle-accounting aggregate
+	// messages-in-flight counter (observational only).
+	cyc cycles.Hook
 
 	// ideal disables link contention and serialization: messages
 	// arrive after pure distance latency (ablation mode).
@@ -180,6 +186,11 @@ func (m *Mesh) SetObserver(fn func(cycle uint64, msg *memtypes.Message, what str
 	m.observer = fn
 }
 
+// SetCyclesObserver installs the cycle-accounting hook, fed
+// EvNoCSend/EvNoCDeliver per message keyed by the message's core tag
+// (nil disables).
+func (m *Mesh) SetCyclesObserver(fn cycles.Hook) { m.cyc = fn }
+
 // ResetStats zeroes the traffic counters (used to scope measurement to a
 // parallel section).
 func (m *Mesh) ResetStats() {
@@ -271,6 +282,9 @@ func (m *Mesh) Send(msg *memtypes.Message) {
 	m.check(msg.Dst)
 	if m.observer != nil {
 		m.observer(m.k.Now(), msg, "send")
+	}
+	if m.cyc != nil {
+		m.cyc(int(msg.Core), cycles.EvNoCSend, m.k.Now(), 0, 0)
 	}
 	// Chaos holds the message at its source for delay extra cycles:
 	// the mesh itself is the actor, so the held message re-enters the
@@ -371,6 +385,9 @@ func (m *Mesh) hop(msg *memtypes.Message, at memtypes.NodeID) {
 func (m *Mesh) deliver(msg *memtypes.Message) {
 	if m.observer != nil {
 		m.observer(m.k.Now(), msg, "deliver")
+	}
+	if m.cyc != nil {
+		m.cyc(int(msg.Core), cycles.EvNoCDeliver, m.k.Now(), 0, 0)
 	}
 	h := m.handlers[msg.Dst]
 	if h == nil {

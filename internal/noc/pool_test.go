@@ -3,6 +3,7 @@ package noc
 import (
 	"testing"
 
+	"repro/internal/cycles"
 	"repro/internal/memtypes"
 	"repro/internal/sim"
 )
@@ -48,5 +49,36 @@ func TestPooledSendZeroAllocs(t *testing.T) {
 	allocs := testing.AllocsPerRun(200, send)
 	if allocs != 0 {
 		t.Fatalf("pooled send allocated %.1f times per message, want 0", allocs)
+	}
+}
+
+// The cycle-accounting hook must not break the zero-alloc hot path: a
+// pooled message travelling the mesh with an accounting observer
+// attached still costs zero heap allocations per hop in steady state
+// (the hook is a func field called with scalar args — no boxing).
+func TestPooledSendZeroAllocsWithCyclesObserver(t *testing.T) {
+	k := sim.New()
+	m := New(k, 4, 4)
+	a := cycles.NewAccumulator(16)
+	m.SetCyclesObserver(a.Observe)
+	for n := 0; n < m.Nodes(); n++ {
+		m.Attach(memtypes.NodeID(n), HandlerFunc(func(msg *memtypes.Message) {
+			m.Free(msg)
+		}))
+	}
+	send := func() {
+		msg := m.NewMessage()
+		msg.Src, msg.Dst = 0, 15
+		msg.Core = 3
+		msg.Class = memtypes.ClassControl
+		m.Send(msg)
+		if err := k.Run(0); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	send()
+	allocs := testing.AllocsPerRun(200, send)
+	if allocs != 0 {
+		t.Fatalf("observed send allocated %.1f times per message, want 0", allocs)
 	}
 }

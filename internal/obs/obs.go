@@ -223,13 +223,17 @@ func signature(labels []Label) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, escapeLabel(l.Value))
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
 	}
 	return b.String()
 }
 
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double quote, and line feed (backslash first, so
+// the other escapes are not themselves escaped).
 func escapeLabel(v string) string {
 	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
 	v = strings.ReplaceAll(v, "\n", `\n`)
 	return v
 }

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/isa"
 )
 
 func TestCounterGaugeRender(t *testing.T) {
@@ -219,6 +221,99 @@ func TestSimMetricsRegistersIdempotently(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("sim metrics exposition missing %q", want)
+		}
+	}
+}
+
+// Hostile label values must survive exposition + parse unchanged:
+// backslash, double quote, and newline all have escapes in the text
+// format, and escaping must not double up (a raw `\n` backslash-n pair
+// is distinct from a line feed).
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	hostile := []string{
+		`back\slash`,
+		`quo"te`,
+		"new\nline",
+		`mix\"ed` + "\n" + `\n end`,
+		`trailing\`,
+	}
+	r := NewRegistry()
+	for i, v := range hostile {
+		r.Counter("hostile_total", "", L("v", v)).Add(uint64(i + 1))
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The raw backslash value must render with exactly two backslashes
+	// (no %q double-escaping on top of manual escaping).
+	if !strings.Contains(out, `v="back\\slash"`) {
+		t.Errorf("backslash escaped wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `v="quo\"te"`) {
+		t.Errorf("quote escaped wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `v="new\nline"`) {
+		t.Errorf("newline escaped wrong:\n%s", out)
+	}
+	e, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, out)
+	}
+	got := map[string]float64{}
+	for _, s := range e.Samples["hostile_total"] {
+		got[s.Labels["v"]] = s.Value
+	}
+	for i, v := range hostile {
+		if got[v] != float64(i+1) {
+			t.Errorf("label %q round-tripped to value %v, want %d\nexposition:\n%s", v, got[v], i+1, out)
+		}
+	}
+}
+
+// ObserveSync must reject out-of-range kinds instead of wrapping them
+// into an arbitrary histogram slot.
+func TestObserveSyncOutOfRange(t *testing.T) {
+	r := NewRegistry()
+	m := NewSimMetrics(r)
+	m.ObserveSync(isa.NumSyncKinds, 100)
+	m.ObserveSync(isa.NumSyncKinds+3, 100)
+	if got := m.ObserveErrors.Value(); got != 2 {
+		t.Fatalf("ObserveErrors = %d, want 2", got)
+	}
+	for k, h := range m.Sync {
+		if h != nil && h.Count() != 0 {
+			t.Errorf("kind %d histogram got %d observations from out-of-range kinds", k, h.Count())
+		}
+	}
+	m.ObserveSync(isa.SyncAcquire, 50)
+	if m.Sync[isa.SyncAcquire].Count() != 1 {
+		t.Fatal("in-range observation lost")
+	}
+	if got := m.ObserveErrors.Value(); got != 2 {
+		t.Fatalf("ObserveErrors moved to %d on a valid observation", got)
+	}
+}
+
+// AddCycles feeds the sim_cycles_total{category,protocol} counter.
+func TestAddCycles(t *testing.T) {
+	r := NewRegistry()
+	m := NewSimMetrics(r)
+	m.AddCycles("Invalidation", "spin_wait", 120)
+	m.AddCycles("Invalidation", "spin_wait", 30)
+	m.AddCycles("Callback", "cb_blocked", 99)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`sim_cycles_total{category="spin_wait",protocol="Invalidation"} 150`,
+		`sim_cycles_total{category="cb_blocked",protocol="Callback"} 99`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -40,6 +40,14 @@ type SimMetrics struct {
 	Sync [isa.NumSyncKinds]*Histogram
 	// Runs counts completed simulations observed into this metric set.
 	Runs *Counter
+	// ObserveErrors counts observations the metric set rejected (e.g. a
+	// sync episode with an out-of-range kind) instead of silently
+	// misfiling them.
+	ObserveErrors *Counter
+
+	// reg backs per-(protocol, category) cycle counters created lazily by
+	// AddCycles; the registry deduplicates label sets internally.
+	reg *Registry
 }
 
 // NewSimMetrics registers the simulator metric set on r and returns the
@@ -57,6 +65,9 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 			"Per-link NoC utilization (busy cycles / run cycles), one sample per directional link per run.", UtilBuckets),
 		Runs: r.Counter("sim_runs_total",
 			"Completed simulations observed into the simulator metrics."),
+		ObserveErrors: r.Counter("sim_observe_errors_total",
+			"Observations rejected by the simulator metric set (out-of-range enum values)."),
+		reg: r,
 	}
 	for k := isa.SyncAcquire; k < isa.NumSyncKinds; k++ {
 		m.Sync[k] = r.Histogram("sim_sync_latency_cycles",
@@ -66,9 +77,29 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 	return m
 }
 
-// ObserveSync records one synchronization episode of the given kind.
+// ObserveSync records one synchronization episode of the given kind. An
+// out-of-range kind (corrupt trace, future enum value) is counted into
+// sim_observe_errors_total rather than silently wrapped into an
+// arbitrary histogram.
 func (m *SimMetrics) ObserveSync(kind isa.SyncKind, cycles uint64) {
-	if h := m.Sync[kind%isa.NumSyncKinds]; h != nil {
+	if kind >= isa.NumSyncKinds {
+		m.ObserveErrors.Inc()
+		return
+	}
+	if h := m.Sync[kind]; h != nil {
 		h.Observe(float64(cycles))
 	}
+}
+
+// AddCycles adds n attributed simulated cycles to the
+// sim_cycles_total{category,protocol} counter. Series are created on
+// first use; the registry deduplicates, so repeated calls with the same
+// pair are a lookup plus one atomic add.
+func (m *SimMetrics) AddCycles(protocol, category string, n uint64) {
+	if m.reg == nil || n == 0 {
+		return
+	}
+	m.reg.Counter("sim_cycles_total",
+		"Simulated core cycles attributed by the cycle-accounting layer, by category and protocol.",
+		L("category", category), L("protocol", protocol)).Add(n)
 }

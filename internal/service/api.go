@@ -25,7 +25,7 @@ import (
 // Bump it whenever a change makes old cached results stale (protocol
 // fixes, timing model changes): the salt is hashed into every cell key,
 // so bumping it invalidates the whole cache at once.
-const DefaultVersionSalt = "cbsim/v2"
+const DefaultVersionSalt = "cbsim/v3"
 
 // DefaultLimitCycles is the per-cell simulation cycle budget, matching
 // experiments.Options.Limit's default.
@@ -74,6 +74,12 @@ type JobRequest struct {
 	// CheckpointInterval is the digest-mark cadence K in cycles
 	// (default replay.DefaultInterval). Ignored without Checkpoints.
 	CheckpointInterval uint64 `json:"checkpoint_interval,omitempty"`
+	// Cycles attaches the cycle-accounting layer to every cell: each
+	// cell's Stats carry the per-core cycle stack, and the aggregated
+	// per-setup breakdown is retrievable at GET /v1/jobs/{id}/cycles.
+	// Cycle-accounted cells hash to distinct cache keys (the stack is
+	// part of the payload), so plain jobs keep their smaller entries.
+	Cycles bool `json:"cycles,omitempty"`
 }
 
 // CellSpec is one fully-normalized (benchmark x setup) simulation cell:
@@ -87,6 +93,9 @@ type CellSpec struct {
 	Style     string `json:"style"`
 	Entries   int    `json:"entries"`
 	Limit     uint64 `json:"limit"`
+	// Cycles marks a cycle-accounted cell; it is part of the cache key
+	// because the payload differs (Stats.CycleStack present).
+	Cycles bool `json:"cycles,omitempty"`
 }
 
 // Key returns the content address of this cell's result: a hex SHA-256
@@ -156,6 +165,7 @@ func (r JobRequest) Cells() ([]CellSpec, error) {
 			cells = append(cells, CellSpec{
 				Benchmark: b, Setup: s,
 				Cores: cores, Style: style, Entries: entries, Limit: limit,
+				Cycles: r.Cycles,
 			})
 		}
 	}
@@ -323,4 +333,22 @@ type BisectResponse struct {
 	BEnd       uint64   `json:"b_end"`
 	// Report is the rendered human-readable report.
 	Report string `json:"report"`
+}
+
+// CyclesResponse is the body of GET /v1/jobs/{id}/cycles: the job's
+// cycle-stack breakdown aggregated per setup across its benchmarks.
+// 404 unless the job was submitted with cycles=true.
+type CyclesResponse struct {
+	ID     string        `json:"id"`
+	Setups []SetupCycles `json:"setups"`
+}
+
+// SetupCycles is one setup's aggregate cycle attribution: total core
+// cycles across the job's cells under this setup, split by category.
+// Categories sum to TotalCycles (conservation holds per cell, so it
+// holds for the sum).
+type SetupCycles struct {
+	Setup       string            `json:"setup"`
+	TotalCycles uint64            `json:"total_cycles"`
+	Categories  map[string]uint64 `json:"categories"`
 }

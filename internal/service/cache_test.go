@@ -44,7 +44,7 @@ func TestCellKeySaltAndFields(t *testing.T) {
 	base := CellSpec{Benchmark: "radiosity", Setup: "CB-One", Cores: 64,
 		Style: "scalable", Entries: 4, Limit: DefaultLimitCycles}
 	k := base.Key(DefaultVersionSalt)
-	if k2 := base.Key("cbsim/v3"); k2 == k {
+	if k2 := base.Key(DefaultVersionSalt + "-other"); k2 == k {
 		t.Fatal("version salt does not change the key")
 	}
 	variants := []CellSpec{}
@@ -55,6 +55,7 @@ func TestCellKeySaltAndFields(t *testing.T) {
 		func(c *CellSpec) { c.Style = "naive" },
 		func(c *CellSpec) { c.Entries = 16 },
 		func(c *CellSpec) { c.Limit = 1000 },
+		func(c *CellSpec) { c.Cycles = true },
 	} {
 		c := base
 		mutate(&c)

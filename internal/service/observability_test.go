@@ -181,3 +181,104 @@ func TestTraceRoundTrip(t *testing.T) {
 		t.Fatalf("untraced job trace status = %d, want 404", resp2.StatusCode)
 	}
 }
+
+// TestCyclesEndpoint submits a cycle-accounted sweep and checks the
+// aggregated per-setup breakdown: conservation (categories sum to
+// total), the spin-vs-blocked split the accounting exists to show, the
+// sim_cycles_total exposition, and the 404 contract for plain jobs.
+func TestCyclesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Parallelism: 2})
+
+	st, code := submit(t, ts, JobRequest{
+		Benchmark: "dedup", Setups: []string{"Invalidation", "CB-One"},
+		Cores: 16, Cycles: true,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	waitState(t, ts, st.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/cycles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cycles status = %d, want 200", resp.StatusCode)
+	}
+	var cr CyclesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Setups) != 2 {
+		t.Fatalf("setups = %d, want 2: %+v", len(cr.Setups), cr)
+	}
+	byName := map[string]SetupCycles{}
+	for _, sc := range cr.Setups {
+		byName[sc.Setup] = sc
+		var sum uint64
+		for _, n := range sc.Categories {
+			sum += n
+		}
+		if sum != sc.TotalCycles || sc.TotalCycles == 0 {
+			t.Errorf("%s: categories sum to %d of %d total", sc.Setup, sum, sc.TotalCycles)
+		}
+	}
+	// The figure's point: invalidation-based spinning burns spin-wait
+	// cycles; the callback directory converts waiting into blocked time.
+	if byName["Invalidation"].Categories["spin_wait"] == 0 {
+		t.Errorf("Invalidation has no spin_wait cycles: %+v", byName["Invalidation"])
+	}
+	if byName["CB-One"].Categories["cb_blocked"] == 0 {
+		t.Errorf("CB-One has no cb_blocked cycles: %+v", byName["CB-One"])
+	}
+
+	// The same run fed sim_cycles_total{category,protocol}.
+	exp := scrape(t, ts)
+	if exp.Types["sim_cycles_total"] != obs.TypeCounter {
+		t.Fatalf("sim_cycles_total TYPE = %v, want counter", exp.Types["sim_cycles_total"])
+	}
+	var spin, blocked float64
+	for _, s := range exp.Samples["sim_cycles_total"] {
+		switch {
+		case s.Labels["category"] == "spin_wait" && s.Labels["protocol"] == "Invalidation":
+			spin = s.Value
+		case s.Labels["category"] == "cb_blocked" && s.Labels["protocol"] == "Callback":
+			blocked = s.Value
+		}
+	}
+	if spin == 0 || blocked == 0 {
+		t.Errorf("sim_cycles_total missing spin/blocked series: %+v", exp.Samples["sim_cycles_total"])
+	}
+
+	// A plain job has no cycle stacks to serve.
+	st2, _ := submit(t, ts, JobRequest{Benchmark: "dedup", Setup: "CB-One", Cores: 16})
+	waitState(t, ts, st2.ID, StateDone)
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + st2.ID + "/cycles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("plain job cycles status = %d, want 404", resp2.StatusCode)
+	}
+
+	// Cycle-accounted results are cached like any other cell: an
+	// identical resubmission is a pure cache hit and still serves stacks.
+	st3, _ := submit(t, ts, JobRequest{
+		Benchmark: "dedup", Setups: []string{"Invalidation", "CB-One"},
+		Cores: 16, Cycles: true,
+	})
+	waitState(t, ts, st3.ID, StateDone)
+	if got := getStatus(t, ts, st3.ID); got.CacheHits != 2 {
+		t.Errorf("resubmitted cycles job cache hits = %d, want 2", got.CacheHits)
+	}
+	resp3, err := http.Get(ts.URL + "/v1/jobs/" + st3.ID + "/cycles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("cached cycles job status = %d, want 200", resp3.StatusCode)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cycles"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -174,6 +175,9 @@ func (s *Server) makeJob(id string, req JobRequest) (*job, error) {
 	if req.Checkpoints && len(cells) != 1 {
 		return nil, fmt.Errorf("checkpoints require a single-cell job (request expands to %d cells)", len(cells))
 	}
+	if req.Cycles && req.Checkpoints {
+		return nil, fmt.Errorf("cycles and checkpoints cannot be combined (the replay contract pins the recorded run's exact payload)")
+	}
 	par := req.Parallelism
 	if par <= 0 || par > s.cfg.Parallelism {
 		par = s.cfg.Parallelism
@@ -284,6 +288,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/replay", s.handleReplay)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/bisect", s.handleBisect)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/cycles", s.handleCycles)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 }
@@ -401,7 +406,8 @@ func (s *Server) runCell(j *job, i int) (err error) {
 		// the experiments machine pool skips rebuilding the machine.
 		// Results are byte-identical (tracing still works: restore
 		// detaches the previous run's observers).
-		WarmStart: true,
+		WarmStart:   true,
+		CycleStacks: c.Cycles,
 		Progress: func(e experiments.RunEvent) {
 			if !e.Done {
 				j.emit(Event{
@@ -842,6 +848,58 @@ func (s *Server) handleBisect(w http.ResponseWriter, r *http.Request) {
 		AEvent: rp.AEvent, BEvent: rp.BEvent, AEnd: rp.AEnd, BEnd: rp.BEnd,
 		Report: rp.String(),
 	})
+}
+
+// handleCycles serves a cycle-accounted job's aggregated cycle stacks:
+// per setup, the total core cycles across the job's benchmarks split by
+// accounting category. 404 unless the job was submitted with
+// cycles=true, 409 while cells are still running.
+func (s *Server) handleCycles(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	if len(j.cells) == 0 || !j.cells[0].Cycles {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("job %q was not submitted with cycles=true", j.id)})
+		return
+	}
+	res, ok := j.result()
+	if !ok {
+		writeJSON(w, http.StatusConflict, j.status())
+		return
+	}
+	// Aggregate per setup in first-seen order (the request's cell order,
+	// so the response follows the submitted setup order).
+	agg := map[string]*SetupCycles{}
+	var order []string
+	for _, cell := range res.Cells {
+		var pl cellPayload
+		if err := json.Unmarshal(cell.Data, &pl); err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: fmt.Sprintf("decoding cell payload: %v", err)})
+			return
+		}
+		if pl.Stats.CycleStack == nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: fmt.Sprintf("cell %s/%s has no cycle stack", pl.Spec.Benchmark, pl.Spec.Setup)})
+			return
+		}
+		sc := agg[pl.Spec.Setup]
+		if sc == nil {
+			sc = &SetupCycles{Setup: pl.Spec.Setup, Categories: map[string]uint64{}}
+			agg[pl.Spec.Setup] = sc
+			order = append(order, pl.Spec.Setup)
+		}
+		sc.TotalCycles += pl.Stats.CycleStack.TotalCycles()
+		for cat, n := range pl.Stats.CycleStack.Totals() {
+			if n > 0 {
+				sc.Categories[cycles.Category(cat).String()] += n
+			}
+		}
+	}
+	out := CyclesResponse{ID: j.id}
+	for _, name := range order {
+		out.Setups = append(out.Setups, *agg[name])
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleEvents streams the job's event log as NDJSON: everything so far

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/cycles"
 	"repro/internal/mem"
 	"repro/internal/memtypes"
 	"repro/internal/noc"
@@ -64,6 +65,10 @@ type Bank struct {
 	// consultation).
 	observer func(cycle uint64, core memtypes.NodeID, addr memtypes.Addr, what string, arg uint64)
 
+	// cyc, when set, receives cycle-accounting segments for requester
+	// cores' in-flight racy operations (observational only).
+	cyc cycles.Hook
+
 	stats BankCtrlStats
 }
 
@@ -96,6 +101,16 @@ func (b *Bank) Stats() BankCtrlStats { return b.stats }
 // SetObserver installs a tracing hook for callback-directory activity.
 func (b *Bank) SetObserver(fn func(cycle uint64, core memtypes.NodeID, addr memtypes.Addr, what string, arg uint64)) {
 	b.observer = fn
+}
+
+// SetCyclesObserver installs the cycle-accounting hook (nil disables).
+func (b *Bank) SetCyclesObserver(fn cycles.Hook) { b.cyc = fn }
+
+// cycSpan books a closed cycle-accounting segment for core.
+func (b *Bank) cycSpan(core memtypes.NodeID, lat uint64, cat cycles.Category) {
+	if b.cyc != nil {
+		b.cyc(int(core), cycles.EvSpan, b.k.Now(), b.k.Now()+lat, uint64(cat))
+	}
 }
 
 func (b *Bank) observe(core memtypes.NodeID, addr memtypes.Addr, what string) {
@@ -163,10 +178,16 @@ func (b *Bank) release(line memtypes.Addr) {
 func (b *Bank) Deliver(msg *memtypes.Message) {
 	switch msg.Kind {
 	case MsgGetLine:
+		if b.cyc != nil { // the demand request's NoC leg ends here
+			b.cyc(int(msg.Core), cycles.EvClose, b.k.Now(), 0, 0)
+		}
 		b.handleGetLine(msg)
 	case MsgWTLine:
-		b.handleWTLine(msg)
+		b.handleWTLine(msg) // background write-through: not a core stall leg
 	case MsgRacy:
+		if b.cyc != nil {
+			b.cyc(int(msg.Core), cycles.EvClose, b.k.Now(), 0, 0)
+		}
 		b.handleRacy(msg)
 	default:
 		panic(fmt.Sprintf("vips: bank %d cannot handle %s", b.id, msg))
@@ -176,6 +197,7 @@ func (b *Bank) Deliver(msg *memtypes.Message) {
 func (b *Bank) handleGetLine(msg *memtypes.Message) {
 	b.withLine(msg.Addr, func(release func()) {
 		lat := b.accessLat(msg.Addr, true, reqSyncKind(msg.Req))
+		b.cycSpan(msg.Core, lat, cycles.CatLLCStall)
 		b.k.Schedule(lat, func() {
 			data := b.mesh.NewMessage()
 			*data = memtypes.Message{
@@ -185,6 +207,9 @@ func (b *Bank) handleGetLine(msg *memtypes.Message) {
 			}
 			b.mesh.Free(msg)
 			b.mesh.Send(data)
+			if b.cyc != nil {
+				b.cyc(int(data.Core), cycles.EvOpen, b.k.Now(), uint64(cycles.CatNoC), 0)
+			}
 			release()
 		})
 	})
@@ -266,6 +291,7 @@ func (b *Bank) readThrough(msg *memtypes.Message) {
 	}
 	b.withLine(msg.Req.Addr, func(release func()) {
 		lat := b.accessLat(msg.Req.Addr, true, reqSyncKind(msg.Req))
+		b.cycSpan(msg.Core, lat, cycles.CatLLCStall)
 		b.k.Schedule(lat, func() {
 			b.respond(msg, b.store.Load(msg.Req.Addr), false)
 			release()
@@ -278,6 +304,7 @@ func (b *Bank) readThrough(msg *memtypes.Message) {
 // the line lock.
 func (b *Bank) callbackRead(msg *memtypes.Message) {
 	b.stats.CBDirAccesses++
+	b.cycSpan(msg.Core, b.cbdirLat, cycles.CatCoherenceStall)
 	b.k.Schedule(b.cbdirLat, func() {
 		res, ev := b.cbdir.CallbackRead(int(msg.Core), msg.Req.Addr)
 		b.answerEviction(ev)
@@ -288,6 +315,7 @@ func (b *Bank) callbackRead(msg *memtypes.Message) {
 		}
 		b.withLine(msg.Req.Addr, func(release func()) {
 			lat := b.accessLat(msg.Req.Addr, true, reqSyncKind(msg.Req))
+			b.cycSpan(msg.Core, lat, cycles.CatLLCStall)
 			b.k.Schedule(lat, func() {
 				b.respond(msg, b.store.Load(msg.Req.Addr), false)
 				release()
@@ -312,6 +340,7 @@ func (b *Bank) racyWrite(msg *memtypes.Message) {
 			b.wakeAfter(b.cbdirLat, wakes, req.Addr, req.Value)
 		}
 		lat := b.accessLat(req.Addr, true, reqSyncKind(req))
+		b.cycSpan(msg.Core, lat, cycles.CatLLCStall)
 		b.k.Schedule(lat, func() {
 			b.ack(msg)
 			release()
@@ -339,6 +368,7 @@ func (b *Bank) rmw(msg *memtypes.Message) {
 	req := msg.Req
 	if b.cbdir != nil && req.RMWLdCB {
 		b.stats.CBDirAccesses++
+		b.cycSpan(msg.Core, b.cbdirLat, cycles.CatCoherenceStall)
 		b.k.Schedule(b.cbdirLat, func() {
 			res, ev := b.cbdir.CallbackRead(int(msg.Core), req.Addr)
 			b.answerEviction(ev)
@@ -365,6 +395,7 @@ func (b *Bank) executeRMW(msg *memtypes.Message) {
 	req := msg.Req
 	b.withLine(req.Addr, func(release func()) {
 		lat := b.accessLat(req.Addr, true, reqSyncKind(req))
+		b.cycSpan(msg.Core, lat, cycles.CatLLCStall)
 		b.k.Schedule(lat, func() {
 			old := b.store.Load(req.Addr)
 			if b.qlMaybeQueue(msg, old) {
@@ -411,6 +442,9 @@ func (b *Bank) park(msg *memtypes.Message) {
 	}
 	m[msg.Core] = msg
 	b.observe(msg.Core, w, "cb.block")
+	if b.cyc != nil {
+		b.cyc(int(msg.Core), cycles.EvOpen, b.k.Now(), uint64(cycles.CatCBBlocked), 0)
+	}
 }
 
 // wake services callbacks: parked plain reads are answered directly with
@@ -435,6 +469,9 @@ func (b *Bank) wake(cores []int, addr memtypes.Addr, value uint64, stale bool) {
 		} else {
 			b.stats.Wakes++
 			b.observe(id, w, "cb.wake")
+		}
+		if b.cyc != nil { // the blocked episode ends at the wake
+			b.cyc(int(id), cycles.EvClose, b.k.Now(), 0, 0)
 		}
 		if parked.Req.Kind == memtypes.OpRMW {
 			b.executeRMW(parked)
@@ -467,6 +504,9 @@ func (b *Bank) respond(msg *memtypes.Message, value uint64, stale bool) {
 	}
 	b.mesh.Free(msg)
 	b.mesh.Send(resp)
+	if b.cyc != nil {
+		b.cyc(int(resp.Core), cycles.EvOpen, b.k.Now(), uint64(cycles.CatNoC), 0)
+	}
 }
 
 // ack sends a store completion (control message) and recycles the
@@ -480,6 +520,9 @@ func (b *Bank) ack(msg *memtypes.Message) {
 	}
 	b.mesh.Free(msg)
 	b.mesh.Send(resp)
+	if b.cyc != nil {
+		b.cyc(int(resp.Core), cycles.EvOpen, b.k.Now(), uint64(cycles.CatNoC), 0)
+	}
 }
 
 // Parked reports how many operations are currently blocked in the bank's

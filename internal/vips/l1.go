@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/cycles"
 	"repro/internal/mem"
 	"repro/internal/memtypes"
 	"repro/internal/noc"
@@ -62,6 +63,10 @@ type L1 struct {
 	// guaranteeing release-to-acquire visibility.
 	wtOutstanding int
 
+	// cyc, when set, receives cycle-accounting segments for the core's
+	// in-flight operation (observational only).
+	cyc cycles.Hook
+
 	stats L1Stats
 }
 
@@ -72,6 +77,9 @@ func NewL1(k *sim.Kernel, id memtypes.NodeID, mesh *noc.Mesh, bankOf func(memtyp
 		arr: cache.NewArray[l1Line](32*1024, 4),
 	}
 }
+
+// SetCyclesObserver installs the cycle-accounting hook (nil disables).
+func (l *L1) SetCyclesObserver(fn cycles.Hook) { l.cyc = fn }
 
 // Stats returns the L1 counters.
 func (l *L1) Stats() L1Stats { return l.stats }
@@ -124,6 +132,9 @@ func (l *L1) accessDRF() {
 		Core: l.id, Req: req,
 	}
 	l.mesh.Send(msg)
+	if l.cyc != nil {
+		l.cyc(int(l.id), cycles.EvOpen, l.k.Now(), uint64(cycles.CatNoC), 0)
+	}
 }
 
 // finishDRF applies the pending DRF op to a resident line and responds.
@@ -147,6 +158,9 @@ func (l *L1) finishDRF(line *cache.Line[l1Line], delay uint64) {
 func (l *L1) handleDataLine(msg *memtypes.Message) {
 	if l.pending == nil || l.pending.req.Addr.Line() != msg.Addr {
 		panic(fmt.Sprintf("vips: core %d unexpected fill for %s", l.id, msg.Addr))
+	}
+	if l.cyc != nil {
+		l.cyc(int(l.id), cycles.EvClose, l.k.Now(), 0, 0)
 	}
 	l.evictFor(msg.Addr)
 	line, ev := l.arr.Allocate(msg.Addr)
@@ -260,12 +274,18 @@ func (l *L1) issueRacy() {
 		Class: class, Addr: req.Addr, Core: l.id, Req: req,
 	}
 	l.mesh.Send(msg)
+	if l.cyc != nil {
+		l.cyc(int(l.id), cycles.EvOpen, l.k.Now(), uint64(cycles.CatNoC), 0)
+	}
 }
 
 // handleRacyResp completes the outstanding racy operation.
 func (l *L1) handleRacyResp(msg *memtypes.Message) {
 	if l.pending == nil {
 		panic(fmt.Sprintf("vips: core %d racy response with no pending op", l.id))
+	}
+	if l.cyc != nil {
+		l.cyc(int(l.id), cycles.EvClose, l.k.Now(), 0, 0)
 	}
 	if msg.Req != nil && msg.Req != l.pending.req {
 		panic(fmt.Sprintf("vips: core %d racy response for %s does not match pending %s",
