@@ -12,7 +12,8 @@ vet:
 
 # vet-cb runs the project's own analyzers (internal/analysis, driven by
 # cmd/cbvet) through the go vet harness: determinism, msgfree, hotpath,
-# obsreadonly. See README "Static analysis".
+# obsreadonly, statecov (snapshot/digest coverage), waivers (directive
+# hygiene). See README "Static analysis".
 vet-cb:
 	$(GO) build -o bin/cbvet ./cmd/cbvet
 	$(GO) vet -vettool=$(CURDIR)/bin/cbvet ./...
@@ -48,12 +49,16 @@ bench-snapshot:
 bench-gate: bench-snapshot
 	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -pr BENCH_pr.json
 
-# fuzz runs the callback-directory differential fuzzer (real directory
-# vs. an unbounded reference model) for a bounded session. CI runs a
-# short smoke; use FUZZTIME=5m locally for a real hunt.
+# fuzz runs the repository's fuzz targets for a bounded session each:
+# the callback-directory differential fuzzer (real directory vs. an
+# unbounded reference model) and the program-verifier soundness fuzzer
+# (any strict-verified program must complete on a real machine within
+# its declared budget). CI runs a short smoke; use FUZZTIME=5m locally
+# for a real hunt.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz FuzzDirectory -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz FuzzVerifiedPrograms -fuzztime $(FUZZTIME) ./internal/isa/verify/
 
 # chaos-litmus is the fault-injection gate: the chaos sweep (litmus
 # programs and sync kernels under the fault matrix at fixed seeds must

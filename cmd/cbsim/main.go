@@ -160,6 +160,13 @@ func run(c cli) error {
 	default:
 		return fmt.Errorf("unknown style %q", c.style)
 	}
+	// Statically verify the generated programs up front: a finding is a
+	// generator bug, and per-instruction diagnostics here beat a deep
+	// simulation failure (or silent corruption) minutes in. Generation
+	// is deterministic, so the simulated run sees identical programs.
+	if err := workload.Generate(p, c.cores, st, setup.Flavor()).Verify().Err(); err != nil {
+		return fmt.Errorf("static verification of %s/%s programs failed: %w", p.Name, setup.Name, err)
+	}
 	// ^C / SIGTERM aborts the simulation cleanly between kernel events.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

@@ -35,6 +35,8 @@ import (
 	"repro/internal/analysis/hotpath"
 	"repro/internal/analysis/msgfree"
 	"repro/internal/analysis/obsreadonly"
+	"repro/internal/analysis/statecov"
+	"repro/internal/analysis/waivers"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -42,6 +44,8 @@ var analyzers = []*analysis.Analyzer{
 	msgfree.Analyzer,
 	hotpath.Analyzer,
 	obsreadonly.Analyzer,
+	statecov.Analyzer,
+	waivers.Analyzer,
 }
 
 func main() {
@@ -66,8 +70,9 @@ func main() {
 
 	fs := flag.NewFlagSet("cbvet", flag.ExitOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array (machine-readable, module-relative paths)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cbvet [packages]\n       go vet -vettool=$(which cbvet) [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: cbvet [-json] [packages]\n       go vet -vettool=$(which cbvet) [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
 		}
@@ -80,7 +85,7 @@ func main() {
 		}
 		return
 	}
-	os.Exit(standalone(fs.Args()))
+	os.Exit(standalone(fs.Args(), *jsonOut))
 }
 
 func progName() string {
@@ -88,7 +93,7 @@ func progName() string {
 }
 
 // standalone loads the packages itself and runs every analyzer.
-func standalone(patterns []string) int {
+func standalone(patterns []string, jsonOut bool) int {
 	pkgs, err := analysis.LoadPackages(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cbvet:", err)
@@ -99,8 +104,15 @@ func standalone(patterns []string) int {
 		fmt.Fprintln(os.Stderr, "cbvet:", err)
 		return 1
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: [%s] %s\n", relPosition(d.Fset, d.Pos), d.Analyzer, d.Message)
+	if jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "cbvet:", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", relPosition(d.Fset, d.Pos), d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "cbvet: %d diagnostic(s)\n", len(diags))
@@ -111,12 +123,61 @@ func standalone(patterns []string) int {
 
 func relPosition(fset *token.FileSet, pos token.Pos) string {
 	p := fset.Position(pos)
-	if wd, err := os.Getwd(); err == nil {
-		if rel, err := filepath.Rel(wd, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			p.Filename = rel
-		}
-	}
+	p.Filename = relFile(p.Filename)
 	return p.String()
+}
+
+// relFile rewrites name relative to the module root (the nearest parent
+// directory of the working directory holding a go.mod), falling back to
+// the working directory, so output is stable regardless of checkout
+// location — CI problem matchers and editors resolve it against the
+// repo root.
+func relFile(name string) string {
+	base, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	for dir := base; ; {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			base = dir
+			break
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			break
+		}
+		dir = parent
+	}
+	if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return name
+}
+
+// jsonDiagnostic is one finding in cbvet -json output.
+type jsonDiagnostic struct {
+	File     string `json:"file"` // module-relative, forward slashes
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, diags []analysis.LabeledDiagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		p := d.Fset.Position(d.Pos)
+		out = append(out, jsonDiagnostic{
+			File:     relFile(p.Filename),
+			Line:     p.Line,
+			Col:      p.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // vetConfig mirrors the JSON configuration cmd/go passes to vet tools

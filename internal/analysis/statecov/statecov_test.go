@@ -1,0 +1,20 @@
+package statecov_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/statecov"
+)
+
+func TestStatecov(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "simcore"),
+		statecov.Analyzer, "repro/internal/machine/fixture")
+}
+
+// TestOutsideSimCore proves the analyzer stays silent outside the
+// simulator core: service-layer structs snapshot nothing.
+func TestOutsideSimCore(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "outside"),
+		statecov.Analyzer, "repro/internal/service/fixture")
+}

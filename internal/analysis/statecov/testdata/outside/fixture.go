@@ -1,0 +1,23 @@
+// Package fixture re-plants the statecov bugs under a non-sim-core
+// import path: the analyzer must report nothing here.
+package fixture
+
+type hash struct{ sum uint64 }
+
+func (h *hash) U64(v uint64) { h.sum ^= v }
+
+// Widget would be flagged in a sim-core package.
+type Widget struct {
+	count uint64
+	lost  uint64
+}
+
+func (w *Widget) Step() {
+	w.count++
+	w.lost++
+}
+
+// Digest forgets lost — fine outside the simulator core.
+func (w *Widget) Digest(h *hash) {
+	h.U64(w.count)
+}

@@ -1,0 +1,32 @@
+// Package fixture exercises the waivers analyzer: justified waivers
+// pass, bare ones are rejected, and cbsim markers are exempt.
+package fixture
+
+type counter struct {
+	// justified waiver: fine.
+	//cbvet:ephemeral rebuilt from the pending event each step
+	scratch uint64
+
+	// bare waiver: no justification recorded.
+	//cbvet:ephemeral // want "waiver //cbvet:ephemeral has no justification"
+	junk uint64
+
+	n uint64
+}
+
+// bump is a marker directive, not a waiver: exempt.
+//
+//cbsim:hotpath
+func (c *counter) bump() {
+	c.n++
+}
+
+func (c *counter) fold() uint64 {
+	// statement-level bare waiver: also rejected.
+	//cbvet:unordered // want "waiver //cbvet:unordered has no justification"
+	var sum uint64
+	sum += c.n
+	//cbvet:unordered counts only; fold order cannot change the sum
+	sum += c.scratch
+	return sum
+}

@@ -1,0 +1,64 @@
+// Package waivers enforces waiver hygiene for the repository's vet
+// directives.
+//
+// A `//cbvet:*` comment suppresses another analyzer's finding — it is a
+// claim that the flagged code is correct for a reason the analyzer
+// cannot see. That reason must be written down next to the claim:
+//
+//	//cbvet:ephemeral rebuilt from the pending event each step
+//	//cbvet:unordered counts only; fold order cannot change the sum
+//
+// A bare waiver (`//cbvet:ephemeral` with nothing after it) silences a
+// diagnostic without recording why, which is exactly how stale
+// suppressions accumulate. This analyzer rejects any cbvet directive
+// whose justification — the text after the directive name — is empty.
+//
+// `//cbsim:*` directives (e.g. //cbsim:hotpath) are markers, not
+// waivers: they opt code *into* checking rather than out of it, so they
+// carry no justification and are exempt here.
+package waivers
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer rejects cbvet waivers with an empty justification.
+var Analyzer = &analysis.Analyzer{
+	Name: "waivers",
+	Doc:  "flag //cbvet:* waivers that do not record a justification",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				// Directive comments have no space after //; anything
+				// else is prose.
+				text, ok := strings.CutPrefix(c.Text, "//cbvet:")
+				if !ok {
+					continue
+				}
+				name, just, _ := strings.Cut(text, " ")
+				if i := strings.IndexByte(name, '\t'); i >= 0 {
+					name, just = name[:i], name[i+1:]
+				}
+				if name == "" {
+					continue // "//cbvet:" alone is not a directive
+				}
+				// An embedded "//" starts an inline comment about the
+				// waiver, not the justification itself.
+				if i := strings.Index(just, "//"); i >= 0 {
+					just = just[:i]
+				}
+				if strings.TrimSpace(just) == "" {
+					pass.Reportf(c.Pos(),
+						"waiver //cbvet:%s has no justification: say why the suppressed finding is safe", name)
+				}
+			}
+		}
+	}
+	return nil
+}

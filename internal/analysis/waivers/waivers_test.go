@@ -1,0 +1,15 @@
+package waivers_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/waivers"
+)
+
+// Waiver hygiene is not sim-core-scoped: a bare waiver anywhere is a
+// suppression with no recorded reason.
+func TestWaivers(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "src"),
+		waivers.Analyzer, "repro/internal/service/fixture")
+}

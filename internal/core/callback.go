@@ -148,10 +148,16 @@ const (
 type Directory struct {
 	entries []entry
 	cores   int
-	policy  WakePolicy
-	evict   EvictPolicy
+	// policy and evict select the wake and eviction ablation variants;
+	// both are configuration fixed at machine wiring, never changed
+	// once simulation starts.
+	//cbvet:ephemeral configuration fixed at wiring time, re-applied by machine construction on restore
+	policy WakePolicy
+	//cbvet:ephemeral configuration fixed at wiring time, re-applied by machine construction on restore
+	evict EvictPolicy
 	// lineGranular tags entries by cache line instead of word
 	// (ablation: the paper argues for word granularity, Section 2.2).
+	//cbvet:ephemeral configuration fixed at wiring time, re-applied by machine construction on restore
 	lineGranular bool
 	tick         uint64
 	stats        Stats

@@ -1,0 +1,375 @@
+package verify
+
+import (
+	"repro/internal/isa"
+)
+
+// analyzeLoops classifies every control-flow cycle of the reachable CFG
+// and computes the worst-case cycle Budget.
+//
+// Cycles are found as the non-trivial strongly connected components of
+// the reachable instruction graph. Each one must be either:
+//
+//   - a sync-guarded spin loop: it contains a memory operation (or
+//     backoff_wait) executing inside a sync region, so the protocol's
+//     forward-progress rules own its termination (trusted mode only);
+//   - a counted loop: a single conditional exit branch testing a
+//     register against an immediate, with that register updated by
+//     exactly one addi inside the loop and entering the loop as a
+//     known constant — from which a trip bound follows.
+//
+// The Budget multiplies each instruction's latency bound by the trip
+// bound of every counted loop containing it; sync-guarded spin bodies
+// are charged once (the spin itself is the protocol's cost, reported
+// separately as SpinSites).
+func (v *verifier) analyzeLoops() {
+	reach := make([]bool, v.n)
+	succs := make([][]int, v.n)
+	for pc := 0; pc < v.n; pc++ {
+		if v.in[pc] == nil {
+			continue
+		}
+		reach[pc] = true
+		succs[pc] = v.successors(pc)
+	}
+
+	sccs := v.sccs(reach, succs)
+	factor := make([]uint64, v.n)
+	for i := range factor {
+		factor[i] = 1
+	}
+	for _, scc := range sccs {
+		if !v.isCycle(scc, succs) {
+			continue
+		}
+		if v.isSyncGuarded(scc) {
+			v.report.SpinSites++
+			if v.opts.Mode == ModeStrict {
+				v.diag(scc[0], "bound", "spin loop cannot be proven bounded in strict mode")
+			}
+			continue
+		}
+		trips, ok := v.tripBound(scc, succs)
+		if !ok {
+			v.diag(scc[0], "bound", "unbounded loop: neither sync-guarded nor carrying a provable trip bound")
+			continue
+		}
+		if trips > MaxTrips {
+			v.diag(scc[0], "bound", "loop trip bound %d exceeds the %d cap", trips, MaxTrips)
+			continue
+		}
+		for _, pc := range scc {
+			factor[pc] = satMul(factor[pc], trips)
+		}
+	}
+
+	var budget uint64
+	for pc := 0; pc < v.n; pc++ {
+		if !reach[pc] {
+			continue
+		}
+		in := &v.p.Ins[pc]
+		if in.Op.IsMem() {
+			v.report.MemOps++
+		}
+		budget = satAdd(budget, satMul(v.instrCost(in), factor[pc]))
+	}
+	v.report.Budget = budget
+}
+
+// instrCost over-approximates one execution of in, in cycles.
+func (v *verifier) instrCost(in *isa.Instr) uint64 {
+	switch {
+	case in.Op == isa.Compute:
+		return satAdd(in.ImmVal, 1)
+	case in.Op == isa.ComputeR:
+		// Bounded by the strict-mode cap; an unprovable bound was
+		// already diagnosed in the transfer function.
+		return MaxComputeCycles + 1
+	case in.Op == isa.BackoffWait:
+		return BackoffWaitBound
+	case in.Op.IsMem():
+		return MemLatencyBound
+	default:
+		return 1
+	}
+}
+
+// sccs returns the strongly connected components of the reachable CFG
+// (iterative Tarjan), in deterministic order.
+func (v *verifier) sccs(reach []bool, succs [][]int) [][]int {
+	const unvisited = -1
+	index := make([]int, v.n)
+	low := make([]int, v.n)
+	onStack := make([]bool, v.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []int
+	var out [][]int
+	next := 0
+
+	type frame struct {
+		pc, si int
+	}
+	for start := 0; start < v.n; start++ {
+		if !reach[start] || index[start] != unvisited {
+			continue
+		}
+		frames := []frame{{start, 0}}
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.si < len(succs[f.pc]) {
+				w := succs[f.pc][f.si]
+				f.si++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.pc] {
+					low[f.pc] = index[w]
+				}
+				continue
+			}
+			pc := f.pc
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := frames[len(frames)-1].pc; low[pc] < low[p] {
+					low[p] = low[pc]
+				}
+			}
+			if low[pc] == index[pc] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == pc {
+						break
+					}
+				}
+				// Sort ascending for deterministic diagnostics.
+				for i, j := 0, len(scc)-1; i < j; i, j = i+1, j-1 {
+					scc[i], scc[j] = scc[j], scc[i]
+				}
+				out = append(out, scc)
+			}
+		}
+	}
+	return out
+}
+
+// isCycle reports whether the SCC contains a control-flow cycle (more
+// than one node, or a self edge).
+func (v *verifier) isCycle(scc []int, succs [][]int) bool {
+	if len(scc) > 1 {
+		return true
+	}
+	pc := scc[0]
+	for _, s := range succs[pc] {
+		if s == pc {
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncGuarded reports whether the loop blocks on memory inside a sync
+// region: it contains a memory operation or backoff_wait whose abstract
+// state has sync depth >= 1.
+func (v *verifier) isSyncGuarded(scc []int) bool {
+	for _, pc := range scc {
+		in := &v.p.Ins[pc]
+		waits := in.Op == isa.BackoffWait ||
+			(in.Op.IsMem() && in.Op != isa.SelfInvl && in.Op != isa.SelfDown)
+		if waits && v.in[pc] != nil && v.in[pc].syncDepth >= 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// tripBound proves a trip bound for a counted loop: the SCC must have
+// exactly one conditional branch with an exit edge leaving the SCC,
+// the exit condition must pin the tested register to an immediate
+// (beqi taken-exit, or bnei falling out), the register must be updated
+// by exactly one addi inside the SCC, and its value entering the SCC
+// must be a known constant stepping exactly onto the exit value.
+func (v *verifier) tripBound(scc []int, succs [][]int) (uint64, bool) {
+	inSCC := make(map[int]bool, len(scc))
+	for _, pc := range scc {
+		inSCC[pc] = true
+	}
+
+	// Find the exit branches.
+	exitPC := -1
+	exitOnEqual := false
+	for _, pc := range scc {
+		in := &v.p.Ins[pc]
+		switch in.Op {
+		case isa.Beqi, isa.Bnei:
+			taken, fall := in.Target, pc+1
+			takenOut := !inSCC[taken]
+			fallOut := fall >= v.n || !inSCC[fall]
+			if !takenOut && !fallOut {
+				continue
+			}
+			if exitPC >= 0 {
+				return 0, false // multiple exits: give up
+			}
+			exitPC = pc
+			// Exit on the edge where the condition pins rs == imm:
+			// beqi leaving on its taken edge, or bnei falling out.
+			exitOnEqual = (in.Op == isa.Beqi && takenOut) || (in.Op == isa.Bnei && fallOut)
+		case isa.Beq, isa.Bne:
+			taken, fall := in.Target, pc+1
+			if !inSCC[taken] || fall >= v.n || !inSCC[fall] {
+				return 0, false // register-register exit: no bound
+			}
+		case isa.Jmp, isa.Done:
+		default:
+			if pc+1 < v.n && !inSCC[pc+1] {
+				return 0, false // odd shape: fallthrough exit without branch
+			}
+		}
+	}
+	if exitPC < 0 || !exitOnEqual {
+		return 0, false
+	}
+	br := &v.p.Ins[exitPC]
+	ctr := br.Rs
+	exitVal := br.ImmVal
+
+	// Exactly one update of the counter inside the loop, an addi with a
+	// non-zero step.
+	step := uint64(0)
+	updates := 0
+	for _, pc := range scc {
+		in := &v.p.Ins[pc]
+		writes := false
+		switch in.Op {
+		case isa.Imm, isa.Mov, isa.Add, isa.Addi, isa.Sub, isa.Xori,
+			isa.Ld, isa.LdT, isa.LdCB, isa.RMW:
+			writes = in.Rd == ctr
+		}
+		if !writes {
+			continue
+		}
+		updates++
+		if in.Op != isa.Addi || in.Rs != ctr || in.ImmVal == 0 {
+			return 0, false
+		}
+		step = in.ImmVal
+	}
+	if updates != 1 {
+		return 0, false
+	}
+
+	// The counter's value entering the SCC from outside must be one
+	// known constant.
+	entry, haveEntry := uint64(0), false
+	for pc := 0; pc < v.n; pc++ {
+		if v.in[pc] == nil || inSCC[pc] {
+			continue
+		}
+		for _, s := range succs[pc] {
+			if !inSCC[s] {
+				continue
+			}
+			val := v.edgeValue(pc, s, ctr)
+			if !val.isConst() {
+				return 0, false
+			}
+			if haveEntry && val.lo != entry {
+				return 0, false
+			}
+			entry, haveEntry = val.lo, true
+		}
+	}
+	if !haveEntry {
+		return 0, false
+	}
+
+	// Trips: entry steps by `step` (interpreted signed, mod 2^64) until
+	// it equals exitVal. Depending on whether the exit test precedes or
+	// follows the addi on the cycle, the first tested value is entry or
+	// entry+step; trips+1 covers both shapes. entry == exitVal is
+	// rejected: in a bottom-tested loop the counter would have to wrap
+	// the whole 2^64 space to come back around.
+	var trips uint64
+	if sd := int64(step); sd > 0 {
+		diff := exitVal - entry // modular
+		if diff == 0 || diff%step != 0 {
+			return 0, false // never lands exactly on the exit value
+		}
+		trips = diff / step
+	} else {
+		dd := uint64(-sd)
+		diff := entry - exitVal // modular
+		if diff == 0 || diff%dd != 0 {
+			return 0, false
+		}
+		trips = diff / dd
+	}
+	if trips > MaxTrips {
+		return trips, true // caller diagnoses the cap
+	}
+	return trips + 1, true
+}
+
+// edgeValue returns the abstract value of reg flowing along the CFG
+// edge from pc to succ (re-running the transfer function without
+// diagnostics).
+func (v *verifier) edgeValue(pc, succ int, reg isa.Reg) absVal {
+	in := &v.p.Ins[pc]
+	s := v.in[pc]
+	val := s.regs[reg]
+	switch in.Op {
+	case isa.Imm:
+		if in.Rd == reg {
+			val = vConst(in.ImmVal)
+		}
+	case isa.Mov:
+		if in.Rd == reg {
+			val = s.regs[in.Rs]
+		}
+	case isa.Add:
+		if in.Rd == reg {
+			val = addVals(s.regs[in.Rs], s.regs[in.Rt], false)
+		}
+	case isa.Sub:
+		if in.Rd == reg {
+			val = addVals(s.regs[in.Rs], s.regs[in.Rt], true)
+		}
+	case isa.Addi:
+		if in.Rd == reg {
+			val = addConst(s.regs[in.Rs], in.ImmVal)
+		}
+	case isa.Xori:
+		if in.Rd == reg {
+			val = xorConst(s.regs[in.Rs], in.ImmVal)
+		}
+	case isa.Ld, isa.LdT, isa.LdCB, isa.RMW:
+		if in.Rd == reg {
+			val = loaded()
+		}
+	case isa.Beqi:
+		if in.Rs == reg && succ == in.Target && succ != pc+1 {
+			val = vConst(in.ImmVal)
+		}
+	case isa.Bnei:
+		if in.Rs == reg && succ == pc+1 && succ != in.Target {
+			val = vConst(in.ImmVal)
+		}
+	}
+	return val
+}

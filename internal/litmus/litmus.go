@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"repro/internal/isa"
+	"repro/internal/isa/verify"
 	"repro/internal/machine"
 	"repro/internal/memtypes"
 	"repro/internal/synclib"
@@ -58,6 +59,20 @@ type Program struct {
 	// build produces the thread programs for a flavour (generated
 	// programs re-encode their synchronization per protocol).
 	build func(f synclib.Flavor) []*isa.Program
+	// footprint declares the generated program's touchable addresses
+	// for static verification (nil for hand-written litmus tests, which
+	// then get structure/sync/bound checks only).
+	footprint *verify.Footprint
+}
+
+// Verify statically checks the materialized thread programs (call
+// Encode first for generated programs). Generated programs carry their
+// layout's footprint; a finding is a generator bug.
+func (p *Program) Verify() *verify.SetReport {
+	return verify.Threads(p.Threads, verify.Options{
+		Footprint: p.footprint,
+		Mode:      verify.ModeTrusted,
+	})
 }
 
 // RegObs identifies a register of one thread to observe.
@@ -168,6 +183,16 @@ func randProgram(seed int64, threads int) Program {
 		Init:    lay.Init,
 		Observe: counters,
 	}
+	// All allocations happened above; the spans are final. Record the
+	// footprint so every per-flavour encoding can be verified.
+	fp := &verify.Footprint{AllowIndirect: lay.UsesIndirection()}
+	if base, end := lay.SharedSpan(); end > base {
+		fp.AddRange(base, uint64(end-base))
+	}
+	if base, end := lay.PrivateSpan(); end > base {
+		fp.AddRange(base, uint64(end-base))
+	}
+	prog.footprint = fp
 	// The program structure is identical across protocols; only the
 	// flavour-specific synchronization encodings differ, so the thread
 	// programs are generated per flavour at run time.
@@ -250,6 +275,10 @@ func RandCheck(seed int64, threads int) error {
 	var firstProto machine.Protocol
 	for _, proto := range Protocols() {
 		p.Threads = p.build(flavorFor(proto))
+		if err := p.Verify().Err(); err != nil {
+			return fmt.Errorf("litmus %s under %v: generated program failed verification: %w",
+				p.Name, proto, err)
+		}
 		out, err := Run(p, proto, threads)
 		if err != nil {
 			return err

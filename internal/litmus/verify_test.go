@@ -1,0 +1,27 @@
+package litmus
+
+import (
+	"testing"
+
+	"repro/internal/synclib"
+)
+
+// TestRandProgramsVerifyClean proves the random DRF generator's output
+// passes static verification under every flavour, with zero waivers.
+func TestRandProgramsVerifyClean(t *testing.T) {
+	flavors := []synclib.Flavor{
+		synclib.FlavorMESI, synclib.FlavorBackoff,
+		synclib.FlavorCBAll, synclib.FlavorCBOne,
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		for threads := 2; threads <= 5; threads++ {
+			p := RandProgram(seed, threads)
+			for _, f := range flavors {
+				p.Encode(f)
+				if err := p.Verify().Err(); err != nil {
+					t.Fatalf("seed %d threads %d flavour %v: %v", seed, threads, f, err)
+				}
+			}
+		}
+	}
+}

@@ -130,6 +130,7 @@ type Machine struct {
 
 	// sinks receives the machine's trace-event stream; the component
 	// observers are installed once and fan out to every attached sink.
+	//cbvet:ephemeral observational trace fan-out; simulated behaviour is byte-identical with or without it
 	sinks trace.Multi
 
 	// cyc is the cycle-accounting accumulator, nil unless AttachCycles
@@ -140,8 +141,10 @@ type Machine struct {
 	// chaos is the fault-injection engine shared by the mesh and banks
 	// (nil when disabled); watchdog and checkInv drive the liveness and
 	// invariant monitors in RunContext (see robust.go).
-	chaos    *chaos.Engine
+	chaos *chaos.Engine
+	//cbvet:ephemeral monitor configuration for RunContext, not simulated state; re-applied at wiring
 	watchdog uint64
+	//cbvet:ephemeral monitor configuration for RunContext, not simulated state; re-applied at wiring
 	checkInv bool
 
 	loaded   int

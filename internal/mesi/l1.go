@@ -69,6 +69,7 @@ type L1 struct {
 	pending *l1Pending
 
 	// Monitor (quiesce/MWAIT) extension state; see monitor.go.
+	//cbvet:ephemeral configuration toggle set at wiring time, never changed mid-run
 	monitorEnabled bool
 	monitor        monitorState
 	monStats       MonitorStats

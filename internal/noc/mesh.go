@@ -58,9 +58,13 @@ type Stats struct {
 type Mesh struct {
 	k             *sim.Kernel
 	width, height int
-	switchLat     uint64
-	localLat      uint64
-	handlers      []Handler
+	//cbvet:ephemeral configuration fixed at wiring time, re-applied by machine construction on restore
+	switchLat uint64
+	localLat  uint64
+	// handlers holds the per-node delivery endpoints installed by
+	// Attach during machine wiring.
+	//cbvet:ephemeral wiring: delivery endpoints are re-attached at construction, not restored
+	handlers []Handler
 	// linkFree[node][dir] is the first cycle the outgoing link of node
 	// in direction dir is idle.
 	linkFree [][numDirs]uint64
@@ -85,10 +89,12 @@ type Mesh struct {
 
 	// ideal disables link contention and serialization: messages
 	// arrive after pure distance latency (ablation mode).
+	//cbvet:ephemeral ablation configuration fixed at wiring time, never changed mid-run
 	ideal bool
 
 	// chaos, when non-nil, injects per-message send delays and per-hop
 	// jitter (fault injection; nil on the default path).
+	//cbvet:ephemeral wiring pointer installed at construction; the engine's RNG state is snapshotted by the machine
 	chaos *chaos.Engine
 	// chaosFloor keeps chaos-perturbed times monotone where the real
 	// network is FIFO: links (and per-node injection/local delivery)
@@ -98,6 +104,7 @@ type Mesh struct {
 	// produce. Delays still reorder traffic across different routes.
 	// Indexed like linkFree, with two extra virtual directions per
 	// node: injection into the network and local (src==dst) delivery.
+	//cbvet:ephemeral snapshot-captured but deliberately excluded from digests so a chaos run does not digest-diverge from a fault-free twin before any fault lands (see digest.go)
 	chaosFloor [][numDirs + 2]uint64
 
 	// live counts messages handed out by NewMessage and not yet
@@ -234,6 +241,7 @@ func (m *Mesh) VisitLinkBusy(fn func(node memtypes.NodeID, busy uint64)) {
 // NewMessage returns a zeroed message from the mesh's free list. Senders
 // fill it and pass it to Send; the node that finally consumes it returns
 // it with Free.
+//
 //cbsim:hotpath
 func (m *Mesh) NewMessage() *memtypes.Message {
 	m.live++
@@ -276,6 +284,7 @@ func (m *Mesh) HopCount(src, dst memtypes.NodeID) int {
 // Send injects msg into the network. The destination handler's Deliver is
 // invoked when the message arrives. Sends to the local node bypass the
 // network with a fixed small latency and are not counted as traffic.
+//
 //cbsim:hotpath
 func (m *Mesh) Send(msg *memtypes.Message) {
 	m.check(msg.Src)
@@ -331,6 +340,7 @@ func (m *Mesh) Send(msg *memtypes.Message) {
 // forwarding it one more hop or delivering it. Scheduling the mesh itself
 // as the actor (with the message as payload) makes per-hop routing free of
 // closure allocations.
+//
 //cbsim:hotpath
 func (m *Mesh) Act(data any, arg uint64) {
 	m.hop(data.(*memtypes.Message), memtypes.NodeID(arg))
@@ -338,6 +348,7 @@ func (m *Mesh) Act(data any, arg uint64) {
 
 // hop routes msg one step from node at, scheduling the arrival at the next
 // router (or the final delivery).
+//
 //cbsim:hotpath
 func (m *Mesh) hop(msg *memtypes.Message, at memtypes.NodeID) {
 	if at == msg.Dst {

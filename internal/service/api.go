@@ -335,6 +335,33 @@ type BisectResponse struct {
 	Report string `json:"report"`
 }
 
+// VerifyResponse is the body of POST /v1/verify: the static-verification
+// report for a submitted thread-program set. The analysis itself always
+// succeeds (a malformed request body is the only 400); OK says whether
+// the programs passed, and Diagnostics carries every per-instruction
+// finding when they did not.
+type VerifyResponse struct {
+	OK   bool   `json:"ok"`
+	Mode string `json:"mode"`
+	// Budget is the worst-case cycle budget summed across threads;
+	// CycleLimit adds the slack a runner should use as its watchdog.
+	Budget     uint64 `json:"budget"`
+	CycleLimit uint64 `json:"cycle_limit"`
+	// Threads holds the per-thread breakdown, in submission order.
+	Threads []VerifyThread `json:"threads"`
+	// Diagnostics lists every finding (rendered, thread-tagged).
+	Diagnostics []string `json:"diagnostics,omitempty"`
+}
+
+// VerifyThread is one thread's slice of a VerifyResponse.
+type VerifyThread struct {
+	Budget    uint64 `json:"budget"`
+	SpinSites int    `json:"spin_sites"`
+	Barriers  int    `json:"barriers"`
+	MemOps    int    `json:"mem_ops"`
+	Findings  int    `json:"findings"`
+}
+
 // CyclesResponse is the body of GET /v1/jobs/{id}/cycles: the job's
 // cycle-stack breakdown aggregated per setup across its benchmarks.
 // 404 unless the job was submitted with cycles=true.

@@ -16,10 +16,12 @@ import (
 
 	"repro/internal/cycles"
 	"repro/internal/experiments"
+	"repro/internal/isa/verify"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/replay"
+	"repro/internal/synclib"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -96,6 +98,11 @@ type Server struct {
 
 	// journal is the crash-consistency log (nil without JournalPath).
 	journal *journal
+	// verified memoizes static program verification per generation combo
+	// (benchmark, cores, style, flavour): generation is deterministic, so
+	// one verdict covers every cell and every future job sharing the
+	// combo. Values are []string diagnostics (empty = verified clean).
+	verified sync.Map
 	// retrySeq drives the jittered Retry-After hint on backpressure
 	// responses, spreading retries of concurrently rejected clients.
 	retrySeq atomic.Uint64
@@ -162,11 +169,74 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// verifyKey identifies one deterministic program-generation combo.
+type verifyKey struct {
+	bench  string
+	cores  int
+	style  string
+	flavor synclib.Flavor
+}
+
+// verifyError is a submission rejected by static program verification;
+// it carries the per-instruction diagnostics for the structured 400.
+type verifyError struct {
+	combo string
+	diags []string
+}
+
+func (e *verifyError) Error() string {
+	return fmt.Sprintf("programs for %s failed static verification (%d finding(s))", e.combo, len(e.diags))
+}
+
+// verifyCells statically verifies the programs every cell will run,
+// deduplicated by generation combo and memoized across jobs. A finding
+// is a generator bug surfacing through the API: the job is rejected up
+// front with the diagnostic list instead of failing (or silently
+// corrupting) mid-simulation.
+func (s *Server) verifyCells(cells []CellSpec) error {
+	checked := make(map[verifyKey]bool)
+	for _, c := range cells {
+		setup, err := experiments.SetupByName(c.Setup)
+		if err != nil {
+			return err // unreachable: validated by Cells
+		}
+		k := verifyKey{c.Benchmark, c.Cores, c.Style, setup.Flavor()}
+		if checked[k] {
+			continue
+		}
+		checked[k] = true
+		combo := fmt.Sprintf("%s/%s/%d-core/%v", c.Benchmark, c.Style, c.Cores, k.flavor)
+		if v, ok := s.verified.Load(k); ok {
+			if diags := v.([]string); len(diags) > 0 {
+				return &verifyError{combo: combo, diags: diags}
+			}
+			continue
+		}
+		p, err := workload.ByName(c.Benchmark)
+		if err != nil {
+			return err // unreachable: validated by Cells
+		}
+		set := workload.Generate(p, c.Cores, c.SyncStyle(), k.flavor).Verify()
+		var diags []string
+		for _, d := range set.AllDiags() {
+			diags = append(diags, d.String())
+		}
+		s.verified.Store(k, diags)
+		if len(diags) > 0 {
+			return &verifyError{combo: combo, diags: diags}
+		}
+	}
+	return nil
+}
+
 // makeJob validates and normalizes req into a job with the given ID,
 // wired to journal its terminal transition.
 func (s *Server) makeJob(id string, req JobRequest) (*job, error) {
 	cells, err := req.Cells()
 	if err != nil {
+		return nil, err
+	}
+	if err := s.verifyCells(cells); err != nil {
 		return nil, err
 	}
 	if req.Trace && len(cells) != 1 {
@@ -289,6 +359,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/replay", s.handleReplay)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/bisect", s.handleBisect)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/cycles", s.handleCycles)
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 }
@@ -577,6 +648,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 type apiError struct {
 	Error     string `json:"error"`
 	Retryable bool   `json:"retryable,omitempty"`
+	// Diagnostics carries the per-instruction findings when a submission
+	// is rejected by static program verification.
+	Diagnostics []string `json:"diagnostics,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -595,7 +669,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
 	j, err := s.makeJob(id, req)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		e := apiError{Error: err.Error()}
+		var ve *verifyError
+		if errors.As(err, &ve) {
+			e.Diagnostics = ve.diags
+		}
+		writeJSON(w, http.StatusBadRequest, e)
 		return
 	}
 
@@ -938,6 +1017,45 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleVerify statically verifies a client-supplied thread-program set
+// (wire format: internal/isa/verify.WireRequest) without simulating it.
+// Untrusted programs default to strict mode, where acceptance proves
+// unconditional termination within the reported budget. A malformed
+// request body is the only 400; a program that fails verification gets
+// a 200 with ok=false and the per-instruction diagnostic list — the
+// analysis itself succeeded.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req verify.WireRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	progs, opts, err := req.Decode()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	set := verify.Threads(progs, opts)
+	resp := VerifyResponse{
+		OK:     set.OK(),
+		Mode:   opts.Mode.String(),
+		Budget: set.Budget(),
+	}
+	for _, tr := range set.Threads {
+		resp.CycleLimit += tr.CycleLimit()
+		resp.Threads = append(resp.Threads, VerifyThread{
+			Budget: tr.Budget, SpinSites: tr.SpinSites,
+			Barriers: tr.Barriers, MemOps: tr.MemOps, Findings: len(tr.Diags),
+		})
+	}
+	for _, d := range set.AllDiags() {
+		resp.Diagnostics = append(resp.Diagnostics, d.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,211 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/isa"
+)
+
+// postVerify posts a raw body to /v1/verify and decodes the response.
+func postVerify(t *testing.T, ts *httptest.Server, body string) (VerifyResponse, apiError, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/verify", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vr VerifyResponse
+	var ae apiError
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &vr); err != nil {
+			t.Fatalf("decoding %s: %v", raw, err)
+		}
+	} else if err := json.Unmarshal(raw, &ae); err != nil {
+		t.Fatalf("decoding %s: %v", raw, err)
+	}
+	return vr, ae, resp.StatusCode
+}
+
+func TestVerifyEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// A clean strict-mode program: load, add, store, done — all inside
+	// the declared footprint.
+	clean := `{
+		"threads": [{"ins": [
+			{"op": "imm", "rd": 1, "imm": 1048576},
+			{"op": "ld", "rd": 2, "base": 1},
+			{"op": "addi", "rd": 2, "rs": 2, "imm": 1},
+			{"op": "st", "base": 1, "rs": 2},
+			{"op": "done"}
+		]}],
+		"footprint": {"ranges": [{"base": 1048576, "size": 64}]}
+	}`
+	vr, _, code := postVerify(t, ts, clean)
+	if code != http.StatusOK {
+		t.Fatalf("clean program: status %d", code)
+	}
+	if !vr.OK || vr.Mode != "strict" || len(vr.Diagnostics) != 0 {
+		t.Fatalf("clean program: ok=%v mode=%q diags=%v", vr.OK, vr.Mode, vr.Diagnostics)
+	}
+	if vr.Budget == 0 || vr.CycleLimit <= vr.Budget {
+		t.Fatalf("clean program: budget=%d cycle_limit=%d", vr.Budget, vr.CycleLimit)
+	}
+	if len(vr.Threads) != 1 || vr.Threads[0].MemOps != 2 {
+		t.Fatalf("clean program: threads=%+v", vr.Threads)
+	}
+
+	// An out-of-footprint store: 200 with ok=false and a memory
+	// diagnostic anchored to the offending instruction.
+	bad := `{
+		"threads": [{"ins": [
+			{"op": "imm", "rd": 1, "imm": 4096},
+			{"op": "st", "base": 1, "rs": 2},
+			{"op": "done"}
+		]}],
+		"footprint": {"ranges": [{"base": 1048576, "size": 64}]}
+	}`
+	vr, _, code = postVerify(t, ts, bad)
+	if code != http.StatusOK {
+		t.Fatalf("bad program: status %d", code)
+	}
+	if vr.OK || len(vr.Diagnostics) == 0 {
+		t.Fatalf("bad program: ok=%v diags=%v", vr.OK, vr.Diagnostics)
+	}
+	if !strings.Contains(vr.Diagnostics[0], "outside the declared footprint") ||
+		!strings.Contains(vr.Diagnostics[0], "pc 1") {
+		t.Fatalf("bad program: unexpected diagnostic %q", vr.Diagnostics[0])
+	}
+	if vr.Threads[0].Findings != 1 {
+		t.Fatalf("bad program: findings=%d", vr.Threads[0].Findings)
+	}
+
+	// Malformed bodies are the only 400s.
+	for name, body := range map[string]string{
+		"not json":       `{`,
+		"unknown opcode": `{"threads": [{"ins": [{"op": "frobnicate"}]}]}`,
+		"no threads":     `{"threads": []}`,
+		"bad mode":       `{"mode": "lenient", "threads": [{"ins": [{"op": "done"}]}]}`,
+		"unknown field":  `{"programs": []}`,
+	} {
+		if _, ae, code := postVerify(t, ts, body); code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (error %q)", name, code, ae.Error)
+		}
+	}
+}
+
+// TestVerifyEndpointStrictDefault proves the endpoint treats client
+// programs as untrusted: a sync-guarded spin loop that trusted mode
+// admits is rejected under the strict default, so acceptance implies
+// unconditional termination.
+func TestVerifyEndpointStrictDefault(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	spin := fmt.Sprintf(`{
+		"threads": [{"ins": [
+			{"op": "sync_begin", "imm": %[1]d},
+			{"op": "imm", "rd": 1, "imm": 1048576},
+			{"op": "ld", "rd": 2, "base": 1},
+			{"op": "bnei", "rs": 2, "imm": 0, "target": 2},
+			{"op": "sync_end", "imm": %[1]d},
+			{"op": "sync_begin", "imm": %[2]d},
+			{"op": "imm", "rd": 2, "imm": 0},
+			{"op": "st", "base": 1, "rs": 2},
+			{"op": "sync_end", "imm": %[2]d},
+			{"op": "done"}
+		]}],
+		"footprint": {"ranges": [{"base": 1048576, "size": 64}]},
+		"mode": %%q
+	}`, isa.SyncAcquire, isa.SyncRelease)
+	for mode, wantOK := range map[string]bool{"strict": false, "trusted": true} {
+		vr, _, code := postVerify(t, ts, fmt.Sprintf(spin, mode))
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", mode, code)
+		}
+		if vr.OK != wantOK {
+			t.Fatalf("%s: ok=%v want %v (diags %v)", mode, vr.OK, wantOK, vr.Diagnostics)
+		}
+		if mode == "trusted" && vr.Threads[0].SpinSites != 1 {
+			t.Fatalf("trusted: spin_sites=%d", vr.Threads[0].SpinSites)
+		}
+	}
+}
+
+// TestSubmitVerifiesPrograms proves job submission runs static program
+// verification, memoized per generation combo.
+func TestSubmitVerifiesPrograms(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	st, code := submit(t, ts, JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitState(t, ts, st.ID, StateDone)
+	n := 0
+	s.verified.Range(func(k, v any) bool {
+		n++
+		if diags := v.([]string); len(diags) != 0 {
+			t.Fatalf("combo %v has findings: %v", k, diags)
+		}
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("expected 1 memoized combo, have %d", n)
+	}
+	// Same combo again: the verdict is reused, not recomputed into a
+	// second entry.
+	if _, code := submit(t, ts, JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4}); code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	n = 0
+	s.verified.Range(func(any, any) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("expected memoized verdict to be reused, have %d entries", n)
+	}
+}
+
+// TestSubmitRejectsUnverifiablePrograms proves the structured 400: a
+// failing verification verdict (planted in the memo, standing in for a
+// generator bug — the real generators verify clean, see
+// workload.TestAllProfilesVerifyClean) rejects the job with the
+// per-instruction diagnostic list in the response body.
+func TestSubmitRejectsUnverifiablePrograms(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	setup, err := experiments.SetupByName("CB-One")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := "thread 0: pc 3 (st [r1+0], r2) [memory]: access [0x1000,0x1007] is outside the declared footprint"
+	s.verified.Store(verifyKey{bench: "fft", cores: 4, style: "scalable", flavor: setup.Flavor()},
+		[]string{diag})
+
+	body, _ := json.Marshal(JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var ae apiError
+	if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ae.Error, "failed static verification") {
+		t.Fatalf("error %q", ae.Error)
+	}
+	if len(ae.Diagnostics) != 1 || ae.Diagnostics[0] != diag {
+		t.Fatalf("diagnostics %v", ae.Diagnostics)
+	}
+}

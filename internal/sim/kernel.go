@@ -97,10 +97,10 @@ type Telemetry struct {
 // Kernel is a discrete-event simulator clock and event queue.
 // The zero value is ready to use at cycle 0.
 type Kernel struct {
-	slots []wheelSlot // calendar wheel (nil until first use of a zero Kernel)
-	occ   []uint64    // occupancy bitmap, one bit per slot
-	heap  []event     // overflow tier for events >= wheelSlots cycles out
-	nwheel int        // live events on the wheel
+	slots  []wheelSlot // calendar wheel (nil until first use of a zero Kernel)
+	occ    []uint64    // occupancy bitmap, one bit per slot
+	heap   []event     // overflow tier for events >= wheelSlots cycles out
+	nwheel int         // live events on the wheel
 
 	now  uint64
 	seq  uint64
@@ -113,8 +113,10 @@ type Kernel struct {
 	// cached memoizes the earliest pending event between the limit check
 	// and the pop that fires it, so Run/RunUntil scan the wheel once per
 	// event. cachedSlot < 0 means the event is the heap top.
-	cached     bool
+	cached bool
+	//cbvet:ephemeral memo guarded by cached, which SetState clears; rebuilt from the wheel/heap by the next locate
 	cachedSlot int
+	//cbvet:ephemeral memo guarded by cached, which SetState clears; rebuilt from the wheel/heap by the next locate
 	cachedWhen uint64
 
 	tele Telemetry
@@ -162,6 +164,7 @@ func (k *Kernel) Telemetry() Telemetry { return k.tele }
 
 // Schedule runs fn delay cycles from now. A delay of zero fires later in
 // the current cycle, after all previously scheduled events for this cycle.
+//
 //cbsim:hotpath
 func (k *Kernel) Schedule(delay uint64, fn func()) {
 	k.At(k.now+delay, fn)
@@ -173,6 +176,7 @@ func (k *Kernel) Schedule(delay uint64, fn func()) {
 // layers compute absolute deadlines such as "FIFO floor + latency" whose
 // floor may already have passed; the clamp makes that well-defined
 // instead of a time-travel bug.
+//
 //cbsim:hotpath
 func (k *Kernel) At(when uint64, fn func()) {
 	if fn == nil {
@@ -183,6 +187,7 @@ func (k *Kernel) At(when uint64, fn func()) {
 
 // ScheduleActor runs a.Act(data, arg) delay cycles from now. It is the
 // allocation-free counterpart of Schedule: no closure is created.
+//
 //cbsim:hotpath
 func (k *Kernel) ScheduleActor(delay uint64, a Actor, data any, arg uint64) {
 	k.AtActor(k.now+delay, a, data, arg)
@@ -190,6 +195,7 @@ func (k *Kernel) ScheduleActor(delay uint64, a Actor, data any, arg uint64) {
 
 // AtActor runs a.Act(data, arg) at the absolute cycle when. Like At, a
 // when earlier than Now() is clamped to now.
+//
 //cbsim:hotpath
 func (k *Kernel) AtActor(when uint64, a Actor, data any, arg uint64) {
 	if a == nil {
@@ -200,6 +206,7 @@ func (k *Kernel) AtActor(when uint64, a Actor, data any, arg uint64) {
 
 // push inserts an event, assigning its sequence number, into the wheel
 // (near future) or the overflow heap (far future).
+//
 //cbsim:hotpath
 func (k *Kernel) push(e event) {
 	if e.when < k.now {
@@ -227,6 +234,7 @@ func (k *Kernel) push(e event) {
 // sequence numbers are monotone); only a heap->wheel migration can arrive
 // with a sequence number below an already-slotted event, taking the
 // binary-insert path.
+//
 //cbsim:hotpath
 func (k *Kernel) wheelPush(e event) {
 	k.tele.WheelPushes++
@@ -258,6 +266,7 @@ func (k *Kernel) wheelPush(e event) {
 // popSlot removes the earliest (lowest-sequence) event of slot si, zeroing
 // the vacated entry so the popped closure (and anything it captures) stays
 // collectable. A drained slot rewinds to reuse its backing.
+//
 //cbsim:hotpath
 func (k *Kernel) popSlot(si int) event {
 	s := &k.slots[si]
@@ -278,6 +287,7 @@ func (k *Kernel) popSlot(si int) event {
 // the wheel is non-empty. This is the batch-skip fast path: a quiescent
 // stretch costs one masked word test plus a trailing-zeros jump per 64
 // empty slots, not a per-cycle walk.
+//
 //cbsim:hotpath
 func (k *Kernel) nextOccupied() int {
 	start := int(k.now) & wheelMask
@@ -296,6 +306,7 @@ func (k *Kernel) nextOccupied() int {
 // Same-time events pop from the heap in sequence order, and wheelPush
 // re-orders against any directly pushed slot-mates, so migration preserves
 // the (time, sequence) contract exactly.
+//
 //cbsim:hotpath
 func (k *Kernel) migrate() {
 	for len(k.heap) > 0 && k.heap[0].when-k.now < wheelSlots {
@@ -306,6 +317,7 @@ func (k *Kernel) migrate() {
 
 // locate finds the earliest pending event and memoizes it for the
 // following pop. The caller must ensure events are pending.
+//
 //cbsim:hotpath
 func (k *Kernel) locate() {
 	if !k.heapOnly {
@@ -325,6 +337,7 @@ func (k *Kernel) locate() {
 
 // earliest returns the time of the earliest pending event. The caller
 // must ensure events are pending.
+//
 //cbsim:hotpath
 func (k *Kernel) earliest() uint64 {
 	if !k.cached {
@@ -334,6 +347,7 @@ func (k *Kernel) earliest() uint64 {
 }
 
 // heapPush sifts an event up the overflow heap.
+//
 //cbsim:hotpath
 func (k *Kernel) heapPush(e event) {
 	h := append(k.heap, e)
@@ -350,6 +364,7 @@ func (k *Kernel) heapPush(e event) {
 
 // heapPop removes and returns the heap's earliest event, zeroing the
 // vacated tail slot so the popped closure stays collectable.
+//
 //cbsim:hotpath
 func (k *Kernel) heapPop() event {
 	h := k.heap
@@ -379,6 +394,7 @@ func (k *Kernel) heapPop() event {
 // stepOne pops and fires the earliest event, advancing the clock to its
 // time. The caller must ensure events are pending. It is the single
 // shared pop-loop body of Step, Run, and RunUntil.
+//
 //cbsim:hotpath
 func (k *Kernel) stepOne() {
 	if !k.cached {
@@ -405,6 +421,7 @@ func (k *Kernel) stepOne() {
 
 // Step fires the single earliest pending event and advances the clock to
 // its time. It reports false if no events are pending.
+//
 //cbsim:hotpath
 func (k *Kernel) Step() bool {
 	if k.Pending() == 0 {
@@ -463,6 +480,7 @@ func (k *Kernel) RunUntil(limit uint64, cond func() bool) error {
 // It returns true when it paused at the boundary (or the queue drained),
 // false when cond stopped it first. cond, when non-nil, is checked after
 // each event, exactly like RunUntil's.
+//
 //cbsim:hotpath
 func (k *Kernel) RunToBoundary(target uint64, cond func() bool) bool {
 	if cond != nil && cond() {
@@ -484,6 +502,7 @@ func (k *Kernel) RunToBoundary(target uint64, cond func() bool) bool {
 // false when the queue is empty. Peeking does not perturb the queue —
 // the lockstep bisection scan uses it to advance two kernels to their
 // common next boundary without firing anything.
+//
 //cbsim:hotpath
 func (k *Kernel) NextEventTime() (uint64, bool) {
 	if k.Pending() == 0 {

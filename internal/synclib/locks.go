@@ -188,6 +188,10 @@ type CLHLock struct {
 // private I variables.
 func NewCLHLock(l *Layout, n int) *CLHLock {
 	c := &CLHLock{L: l.SharedLine()}
+	// CLH threads spin on their predecessor's node through a pointer
+	// obtained from the tail swap: the generated programs use indirect
+	// addressing, which static verification must be told to admit.
+	l.NoteIndirect()
 	dummy := l.SharedLine() // succ_wait = 0: lock free
 	l.Init[c.L] = uint64(dummy)
 	for i := 0; i < n; i++ {

@@ -86,6 +86,11 @@ type Layout struct {
 	// Init maps word addresses to their initial values; apply to the
 	// machine's store before starting.
 	Init map[memtypes.Addr]uint64
+	// indirect records that some allocated structure is pointer-linked
+	// (the CLH lock's queue nodes): programs using it chase pointers
+	// loaded from memory, which a static verifier cannot resolve to
+	// concrete addresses. See UsesIndirection.
+	indirect bool
 }
 
 // NewLayout returns an empty layout.
@@ -103,6 +108,21 @@ func NewLayout() *Layout {
 func (l *Layout) SharedSpan() (base, end memtypes.Addr) {
 	return SharedBase, l.nextShared
 }
+
+// PrivateSpan reports the allocated private region [base, end).
+func (l *Layout) PrivateSpan() (base, end memtypes.Addr) {
+	return PrivateBase, l.nextPrivate
+}
+
+// NoteIndirect records that an allocated structure is pointer-linked,
+// so programs built against this layout form some addresses by loading
+// pointers from memory (the CLH lock). Static verification of such
+// programs needs an explicit indirection allowance in the footprint.
+func (l *Layout) NoteIndirect() { l.indirect = true }
+
+// UsesIndirection reports whether any pointer-linked structure was
+// allocated from this layout.
+func (l *Layout) UsesIndirection() bool { return l.indirect }
 
 // SharedLine allocates one shared cache line and returns its address.
 // Synchronization variables get a line each (no false sharing), which

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"repro/internal/isa"
+	"repro/internal/isa/verify"
 	"repro/internal/memtypes"
 	"repro/internal/synclib"
 )
@@ -191,6 +192,31 @@ func GenerateCustom(p Profile, cores int, lk LockKind, bk BarrierKind, f synclib
 				boundaryLines: boundaryLines, boundaryBytes: boundaryBytes}, csData))
 	}
 	return g
+}
+
+// Footprint declares every address the generated programs may touch:
+// the layout's shared and private spans, with an indirection allowance
+// when a pointer-linked structure (the CLH lock) was allocated.
+func (g *Generated) Footprint() *verify.Footprint {
+	fp := &verify.Footprint{AllowIndirect: g.Layout.UsesIndirection()}
+	if base, end := g.Layout.SharedSpan(); end > base {
+		fp.AddRange(base, uint64(end-base))
+	}
+	if base, end := g.Layout.PrivateSpan(); end > base {
+		fp.AddRange(base, uint64(end-base))
+	}
+	return fp
+}
+
+// Verify statically checks every generated thread program against the
+// layout's footprint (trusted mode: the synclib spin loops are
+// admitted). Generated workloads must always verify clean; a finding
+// here is a generator bug.
+func (g *Generated) Verify() *verify.SetReport {
+	return verify.Threads(g.Programs, verify.Options{
+		Footprint: g.Footprint(),
+		Mode:      verify.ModeTrusted,
+	})
 }
 
 // Workload register conventions: R0-R7 (synclib owns R9-R15).
