@@ -1,0 +1,320 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestClusterKillPeerE2E is the real-process cluster acceptance test: it
+// boots three cbsimd daemons as a cluster over loopback, runs a sweep to
+// completion, SIGKILLs one member mid-sweep, and asserts that the
+// surviving members still produce results byte-identical to a standalone
+// single-node daemon. Cluster connectivity is an accelerator, never a
+// correctness dependency — a dead peer may slow a sweep down but must
+// never change its bytes. On failure every node's journal is copied to
+// $CBSIMD_JOURNAL_ARTIFACT_DIR (when set) for CI artifact upload.
+func TestClusterKillPeerE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real daemons")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "cbsimd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cbsimd: %v\n%s", err, out)
+	}
+
+	const n = 3
+	names := make([]string, n)
+	journals := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("node-%d", i)
+		journals[i] = filepath.Join(dir, names[i]+".ndjson")
+	}
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		art := os.Getenv("CBSIMD_JOURNAL_ARTIFACT_DIR")
+		if art != "" {
+			os.MkdirAll(art, 0o755)
+		}
+		for i, journal := range journals {
+			data, err := os.ReadFile(journal)
+			if err != nil {
+				continue
+			}
+			if art != "" {
+				dst := filepath.Join(art, names[i]+".ndjson")
+				os.WriteFile(dst, data, 0o644)
+				t.Logf("journal preserved at %s", dst)
+			} else {
+				t.Logf("%s journal contents:\n%s", names[i], data)
+			}
+		}
+	})
+
+	// Cluster membership is static, so every member's address must be
+	// known before any member starts: reserve three loopback ports, then
+	// release them to the daemons. (The gap between Close and the
+	// daemon's Listen is a standard, tolerable race on loopback.)
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+
+	procs := make([]*exec.Cmd, n)
+	urls := make([]string, n)
+	for i := range names {
+		var peers []string
+		for j := range names {
+			if j != i {
+				peers = append(peers, fmt.Sprintf("%s=http://%s", names[j], addrs[j]))
+			}
+		}
+		cmd := exec.Command(bin,
+			"-addr", addrs[i],
+			"-workers", "2",
+			"-parallel", "4",
+			"-queue", "16",
+			"-journal", journals[i],
+			"-node-id", names[i],
+			"-peers", strings.Join(peers, ","),
+			"-advertise", "http://"+addrs[i],
+		)
+		cmd.Stderr = &prefixLogger{t: t, prefix: names[i]}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = cmd
+		urls[i] = "http://" + addrs[i]
+		idx := i
+		t.Cleanup(func() {
+			procs[idx].Process.Kill()
+			procs[idx].Wait()
+		})
+	}
+	for i, url := range urls {
+		waitHealthy(t, url, names[i])
+	}
+
+	// Standalone baseline: the same sweep on a non-cluster daemon defines
+	// the reference bytes every cluster resolution path must reproduce.
+	base, baseURL := startDaemon(t, bin, filepath.Join(dir, "baseline.ndjson"), "4")
+	defer func() {
+		base.Process.Kill()
+		base.Wait()
+	}()
+	sweepReq := service.JobRequest{Setups: []string{"CB-One"}, Cores: 16}
+	baseID := submitJob(t, baseURL, sweepReq)
+	waitForState(t, baseURL, baseID, service.StateDone, 120*time.Second)
+	baseline := resultTable(t, baseURL, baseID)
+	// A second, disjoint sweep stays cold in the cluster until the kill
+	// phase below needs it.
+	coldReq := service.JobRequest{Setups: []string{"CB-All"}, Cores: 16}
+	coldID := submitJob(t, baseURL, coldReq)
+	waitForState(t, baseURL, coldID, service.StateDone, 120*time.Second)
+	coldBaseline := resultTable(t, baseURL, coldID)
+
+	// Healthy cluster: a sweep through node-1 must match the baseline
+	// byte for byte, whichever mix of local simulation, peer cache hits,
+	// and forwarded computes resolved its cells.
+	healthyID := submitJob(t, urls[1], sweepReq)
+	waitForState(t, urls[1], healthyID, service.StateDone, 120*time.Second)
+	assertTableEqual(t, "healthy cluster", baseline, resultTable(t, urls[1], healthyID))
+
+	// Kill node-0 mid-sweep. The sweep is cold cluster-wide, so node-2
+	// is actively forwarding cells to peers when the kill lands: peer RPC
+	// to the dead member fails, the breaker opens, its cells fall back to
+	// local simulation — and the bytes must still match the baseline.
+	killID := submitJob(t, urls[2], coldReq)
+	waitForCellProgress(t, urls[2], killID, 60*time.Second)
+	if err := procs[0].Process.Kill(); err != nil { // SIGKILL: no drain
+		t.Fatal(err)
+	}
+	procs[0].Wait()
+	waitForState(t, urls[2], killID, service.StateDone, 120*time.Second)
+	assertTableEqual(t, "post-kill cluster", coldBaseline, resultTable(t, urls[2], killID))
+
+	// A surviving member's failure detector must eventually declare the
+	// killed member dead in /v1/cluster/status.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := clusterStatusE2E(t, urls[2])
+		if alive, ok := st.peerAlive("node-0"); ok && !alive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node-2 never declared node-0 dead: %+v", st)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Fresh submissions on survivors keep working after the death.
+	postID := submitJob(t, urls[1], service.JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 16})
+	waitForState(t, urls[1], postID, service.StateDone, 60*time.Second)
+}
+
+// waitHealthy polls /healthz until the daemon answers.
+func waitHealthy(t *testing.T, url, name string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon %s at %s never became healthy: %v", name, url, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitForCellProgress waits until the job has at least one finished cell
+// (so a subsequent kill lands mid-sweep, not before it).
+func waitForCellProgress(t *testing.T, url, id string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, ok := jobStatus(t, url, id)
+		if !ok {
+			t.Fatalf("job %s not found while waiting for progress", id)
+		}
+		if st.CellsDone >= 1 {
+			return
+		}
+		if st.State != service.StateQueued && st.State != service.StateRunning {
+			t.Fatalf("job %s reached %q before any cell finished", id, st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s made no cell progress in %v", id, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// resultTable fetches a finished job's result and folds it into
+// cell-identity -> payload bytes.
+func resultTable(t *testing.T, url, id string) map[string][]byte {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/result", url, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("result %s = %d: %s", id, resp.StatusCode, data)
+	}
+	var res service.JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	table := make(map[string][]byte, len(res.Cells))
+	for _, cell := range res.Cells {
+		var payload struct {
+			Spec service.CellSpec `json:"spec"`
+		}
+		if err := json.Unmarshal(cell.Data, &payload); err != nil {
+			t.Fatalf("cell payload unparseable: %v", err)
+		}
+		c := payload.Spec
+		key := fmt.Sprintf("%s/%s/c%d/%s/e%d/l%d/cy%v", c.Benchmark, c.Setup, c.Cores, c.Style, c.Entries, c.Limit, c.Cycles)
+		table[key] = cell.Data
+	}
+	return table
+}
+
+// assertTableEqual fails unless both runs produced byte-identical
+// payloads for every cell.
+func assertTableEqual(t *testing.T, label string, want, got map[string][]byte) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: table sizes differ: %d vs %d", label, len(want), len(got))
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("%s: cell %s missing", label, id)
+		}
+		if string(w) != string(g) {
+			t.Fatalf("%s: cell %s differs:\nbaseline: %s\ncluster:  %s", label, id, w, g)
+		}
+	}
+}
+
+// clusterStatusView mirrors the /v1/cluster/status fields this test reads.
+type clusterStatusView struct {
+	Self  string `json:"self"`
+	Peers []struct {
+		Name  string `json:"name"`
+		Alive bool   `json:"alive"`
+	} `json:"peers"`
+}
+
+func (s clusterStatusView) peerAlive(name string) (alive, ok bool) {
+	for _, p := range s.Peers {
+		if p.Name == name {
+			return p.Alive, true
+		}
+	}
+	return false, false
+}
+
+func clusterStatusE2E(t *testing.T, url string) clusterStatusView {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st clusterStatusView
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// prefixLogger streams a daemon's stderr into the test log line by line.
+type prefixLogger struct {
+	t      *testing.T
+	prefix string
+	buf    []byte
+}
+
+func (l *prefixLogger) Write(p []byte) (int, error) {
+	l.buf = append(l.buf, p...)
+	for {
+		i := -1
+		for j, b := range l.buf {
+			if b == '\n' {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			return len(p), nil
+		}
+		l.t.Logf("%s: %s", l.prefix, l.buf[:i])
+		l.buf = l.buf[i+1:]
+	}
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Breaker is a per-peer circuit breaker. It trips open after a run of
+// consecutive transport failures, refuses calls while open, and after a
+// cooldown admits exactly one probe (half-open); the probe's outcome
+// closes the breaker or re-opens it. The clock is injectable so tests
+// can walk through transitions without sleeping.
+//
+// States use the obs encodings (BreakerClosed/HalfOpen/Open) so the
+// value can be poured straight into the cluster_breaker_state gauge.
+type Breaker struct {
+	mu        sync.Mutex
+	now       func() time.Time
+	threshold int
+	cooldown  time.Duration
+
+	state    int
+	fails    int
+	openedAt time.Time
+	probing  bool
+	opens    uint64
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures and probes again cooldown after opening. A nil
+// now uses the wall clock.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{now: now, threshold: threshold, cooldown: cooldown, state: obs.BreakerClosed}
+}
+
+// Allow reports whether a call to the peer may proceed. While open it
+// returns false until the cooldown elapses, then flips to half-open and
+// admits a single probe; concurrent callers during the probe are
+// refused.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case obs.BreakerClosed:
+		return true
+	case obs.BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = obs.BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record feeds back the outcome of an allowed call. A half-open probe
+// closes the breaker on success and re-opens it (restarting the
+// cooldown) on failure; while closed, threshold consecutive failures
+// open it.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == obs.BreakerHalfOpen {
+		b.probing = false
+		if ok {
+			b.state = obs.BreakerClosed
+			b.fails = 0
+		} else {
+			b.state = obs.BreakerOpen
+			b.openedAt = b.now()
+		}
+		return
+	}
+	if ok {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == obs.BreakerClosed && b.fails >= b.threshold {
+		b.state = obs.BreakerOpen
+		b.openedAt = b.now()
+		b.opens++
+	}
+}
+
+// State returns the current state (obs.BreakerClosed/HalfOpen/Open).
+func (b *Breaker) State() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns the number of closed-to-open transitions so far.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestBreakerTransitions(t *testing.T) {
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+	b := NewBreaker(3, 5*time.Second, now)
+
+	if b.State() != obs.BreakerClosed || !b.Allow() {
+		t.Fatal("new breaker should be closed and allowing")
+	}
+	// Failures below the threshold keep it closed; a success resets the
+	// streak.
+	b.Record(false)
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != obs.BreakerClosed {
+		t.Fatal("interleaved success should reset the failure streak")
+	}
+	// The third consecutive failure opens it.
+	b.Record(false)
+	if b.State() != obs.BreakerOpen || b.Opens() != 1 {
+		t.Fatalf("state = %d opens = %d, want open after 3 consecutive failures", b.State(), b.Opens())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+
+	// Cooldown elapses: exactly one probe is admitted (half-open).
+	clock = clock.Add(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: probe should be admitted")
+	}
+	if b.State() != obs.BreakerHalfOpen {
+		t.Fatalf("state = %d, want half-open during probe", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted during half-open probe")
+	}
+
+	// Failed probe re-opens and restarts the cooldown.
+	b.Record(false)
+	if b.State() != obs.BreakerOpen {
+		t.Fatal("failed probe should re-open")
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed a call immediately")
+	}
+
+	// Successful probe closes it again.
+	clock = clock.Add(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Record(true)
+	if b.State() != obs.BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe should close the breaker")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1 (re-opens from half-open are not closed-to-open transitions)", b.Opens())
+	}
+}

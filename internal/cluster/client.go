@@ -1,0 +1,386 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// maxRPCBody bounds how much of a peer response is read: larger than any
+// cell payload, small enough that a confused peer cannot balloon memory.
+const maxRPCBody = 32 << 20
+
+// Sentinel errors from the hardened peer client.
+var (
+	// ErrPeerDown means the peer's circuit breaker is open: the call was
+	// refused without touching the network.
+	ErrPeerDown = errors.New("cluster: peer circuit open")
+	// ErrUnknownPeer means the peer name is not in the static membership.
+	ErrUnknownPeer = errors.New("cluster: unknown peer")
+)
+
+// ClientConfig configures the hardened peer client.
+type ClientConfig struct {
+	// Peers maps peer name -> base URL (no trailing slash).
+	Peers map[string]string
+	// Transport overrides the HTTP transport (tests inject the
+	// fault-injecting in-process fabric here). Nil uses the default.
+	Transport http.RoundTripper
+	// Timeout bounds each RPC attempt (default 2s).
+	Timeout time.Duration
+	// Retries is how many backoff re-attempts follow a failed attempt
+	// (default 2; only transport failures are retried — any HTTP
+	// response, whatever its status, means the peer is alive).
+	Retries int
+	// BreakerThreshold / BreakerCooldown configure the per-peer circuit
+	// breaker (defaults 3 failures / 5s cooldown).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// HedgeDelay is how long a hedged read waits for the owner before
+	// launching the backup request against a replica (default 50ms).
+	HedgeDelay time.Duration
+	// Seed drives the backoff jitter stream (splitmix64, like
+	// internal/chaos): a fixed seed replays the same jitter schedule.
+	Seed uint64
+	// Metrics receives per-peer RPC latency, error, retry, and breaker
+	// series. Nil registers into a throwaway registry.
+	Metrics *obs.ClusterMetrics
+	// Now is the breaker clock (tests inject a fake; nil = wall clock).
+	Now func() time.Time
+}
+
+func (c ClientConfig) fill() ClientConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 50 * time.Millisecond
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewClusterMetrics(obs.NewRegistry())
+	}
+	return c
+}
+
+// Client is the hardened HTTP client every peer RPC goes through:
+// per-attempt timeouts, bounded exponential backoff with full jitter,
+// a per-peer circuit breaker, and hedged cache reads. All methods are
+// safe for concurrent use.
+type Client struct {
+	cfg     ClientConfig
+	hc      *http.Client
+	metrics *obs.ClusterMetrics
+
+	mu  sync.Mutex
+	rng *chaos.Rand
+
+	peers map[string]*peer
+}
+
+type peer struct {
+	name      string
+	url       string
+	breaker   *Breaker
+	pm        *obs.PeerMetrics
+	lastOpens atomic.Uint64
+}
+
+// NewClient builds a client over the configured peers.
+func NewClient(cfg ClientConfig) *Client {
+	cfg = cfg.fill()
+	c := &Client{
+		cfg:     cfg,
+		hc:      &http.Client{Transport: cfg.Transport},
+		metrics: cfg.Metrics,
+		rng:     chaos.NewRand(cfg.Seed),
+		peers:   make(map[string]*peer, len(cfg.Peers)),
+	}
+	for name, url := range cfg.Peers {
+		c.peers[name] = &peer{
+			name:    name,
+			url:     url,
+			breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now),
+			pm:      c.metrics.Peer(name),
+		}
+	}
+	return c
+}
+
+// Peers returns the peer names, sorted.
+func (c *Client) Peers() []string {
+	names := make([]string, 0, len(c.peers))
+	for n := range c.peers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BreakerState returns the breaker state for the named peer
+// (obs.BreakerClosed when unknown, ok=false).
+func (c *Client) BreakerState(name string) (state int, ok bool) {
+	p := c.peers[name]
+	if p == nil {
+		return obs.BreakerClosed, false
+	}
+	return p.breaker.State(), true
+}
+
+// jitter draws a full-jitter backoff sleep in [0, max) from the seeded
+// stream.
+func (c *Client) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.rng.Uint64() % uint64(max))
+}
+
+// syncBreaker pours the peer's breaker state into its gauge and counts
+// any new closed-to-open transitions.
+func (c *Client) syncBreaker(p *peer) {
+	p.pm.BreakerState.Set(float64(p.breaker.State()))
+	opens := p.breaker.Opens()
+	if prev := p.lastOpens.Swap(opens); opens > prev {
+		p.pm.BreakerOpens.Add(opens - prev)
+	}
+}
+
+// do performs one logical RPC against the named peer: breaker admission,
+// then up to 1+Retries attempts, each with its own timeout, separated by
+// exponential backoff with full jitter. Any HTTP response — whatever the
+// status code — counts as peer-alive (breaker success) and is returned;
+// only transport failures are retried and chargeable to the breaker.
+func (c *Client) do(ctx context.Context, peerName, method, path string, body []byte) (status int, data []byte, err error) {
+	p := c.peers[peerName]
+	if p == nil {
+		return 0, nil, fmt.Errorf("%w: %q", ErrUnknownPeer, peerName)
+	}
+	if !p.breaker.Allow() {
+		c.syncBreaker(p)
+		return 0, nil, fmt.Errorf("%w: %s", ErrPeerDown, peerName)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			p.pm.Retries.Inc()
+			backoff := c.jitter(c.cfg.Timeout / 4 << attempt)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				lastErr = ctx.Err()
+				attempt = c.cfg.Retries // exit after accounting below
+				continue
+			}
+		}
+		status, data, lastErr = c.attempt(ctx, p, method, path, body)
+		if lastErr == nil {
+			p.breaker.Record(true)
+			c.syncBreaker(p)
+			return status, data, nil
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	p.breaker.Record(false)
+	c.syncBreaker(p)
+	return 0, nil, fmt.Errorf("cluster: %s %s on %s: %w", method, path, peerName, lastErr)
+}
+
+func (c *Client) attempt(ctx context.Context, p *peer, method, path string, body []byte) (int, []byte, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, p.url+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	p.pm.RPCSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		p.pm.RPCErrors.Inc()
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRPCBody))
+	if err != nil {
+		p.pm.RPCErrors.Inc()
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// GetCell probes the peer's cache for key: (data, true) on a hit, ok =
+// false on a clean miss, err on anything else.
+func (c *Client) GetCell(ctx context.Context, peerName, key string) (data []byte, ok bool, err error) {
+	status, data, err := c.do(ctx, peerName, http.MethodGet, "/v1/cluster/cache/"+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	switch status {
+	case http.StatusOK:
+		return data, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("cluster: cache get on %s: status %d", peerName, status)
+	}
+}
+
+// PutFill gossips a cache fill to the peer.
+func (c *Client) PutFill(ctx context.Context, peerName, key string, data []byte) error {
+	status, _, err := c.do(ctx, peerName, http.MethodPut, "/v1/cluster/cache/"+key, data)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusNoContent {
+		return fmt.Errorf("cluster: fill on %s: status %d", peerName, status)
+	}
+	return nil
+}
+
+// ComputeCell asks the peer to resolve spec (cache or fresh simulation).
+// A 429/503 means the peer is busy or draining — the caller falls back
+// to another path or computes locally.
+func (c *Client) ComputeCell(ctx context.Context, peerName string, spec service.CellSpec) ([]byte, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	status, data, err := c.do(ctx, peerName, http.MethodPost, "/v1/cluster/cell", body)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("cluster: compute on %s: status %d: %s", peerName, status, truncate(data, 200))
+	}
+	return data, nil
+}
+
+// SendJournal replicates one journal record (stamped with its origin
+// node) to the peer.
+func (c *Client) SendJournal(ctx context.Context, peerName, origin string, rec service.JournalRecord) error {
+	body, err := json.Marshal(replicatedRecord{Origin: origin, Record: rec})
+	if err != nil {
+		return err
+	}
+	status, _, err := c.do(ctx, peerName, http.MethodPost, "/v1/cluster/journal", body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusNoContent {
+		return fmt.Errorf("cluster: journal to %s: status %d", peerName, status)
+	}
+	return nil
+}
+
+// Probe fetches the peer's cluster status and returns its load snapshot.
+func (c *Client) Probe(ctx context.Context, peerName string) (service.LoadInfo, error) {
+	status, data, err := c.do(ctx, peerName, http.MethodGet, "/v1/cluster/status", nil)
+	if err != nil {
+		return service.LoadInfo{}, err
+	}
+	if status != http.StatusOK {
+		return service.LoadInfo{}, fmt.Errorf("cluster: status on %s: %d", peerName, status)
+	}
+	var st Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		return service.LoadInfo{}, err
+	}
+	return st.Load, nil
+}
+
+// HedgedGetCell is GetCell with a latency hedge: the owner is asked
+// first, and if it has not answered within HedgeDelay (or fails, or
+// misses) the backup replica is asked too; the first hit wins. Backup ==
+// "" degrades to a plain GetCell against the owner.
+func (c *Client) HedgedGetCell(ctx context.Context, owner, backup, key string) (data []byte, ok bool, err error) {
+	if backup == "" {
+		return c.GetCell(ctx, owner, key)
+	}
+	type res struct {
+		data       []byte
+		ok         bool
+		err        error
+		fromBackup bool
+	}
+	ch := make(chan res, 2)
+	get := func(peerName string, fromBackup bool) {
+		d, ok, err := c.GetCell(ctx, peerName, key)
+		ch <- res{d, ok, err, fromBackup}
+	}
+	go get(owner, false)
+	hedged := false
+	launchBackup := func() {
+		if !hedged {
+			hedged = true
+			c.metrics.HedgedReads.Inc()
+			go get(backup, true)
+		}
+	}
+	timer := time.NewTimer(c.cfg.HedgeDelay)
+	defer timer.Stop()
+	pending := 1
+	var firstErr error
+	for pending > 0 {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil && r.ok {
+				if r.fromBackup {
+					c.metrics.HedgeWins.Inc()
+				}
+				return r.data, true, nil
+			}
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+			// A failed or missing owner makes the hedge immediate.
+			if !hedged {
+				launchBackup()
+				pending++
+			}
+		case <-timer.C:
+			if !hedged {
+				launchBackup()
+				pending++
+			}
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	return nil, false, firstErr
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}

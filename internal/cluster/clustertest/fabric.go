@@ -1,0 +1,298 @@
+// Package clustertest is the proof layer for internal/cluster: it wires
+// N in-process service.Servers into a cluster whose peer RPC flows
+// through a seeded fault-injecting transport (drop, delay, duplicate,
+// partition — same splitmix64 spec-grammar idiom as internal/chaos) and
+// asserts the cluster's one load-bearing property: no fault schedule may
+// change result bytes, only timing. Faults here target the network
+// between members; internal/chaos targets the simulated machine.
+package clustertest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// FaultSpec describes the network faults a Fabric injects, parsed from a
+// compact comma grammar:
+//
+//	drop=0.2          lose 20% of requests (half before delivery, half
+//	                  after — a lost response looks like a lost request
+//	                  to the sender but the side effect happened)
+//	dup=0.1           deliver 10% of requests twice (retries + at-least-
+//	                  once delivery must be idempotent)
+//	delay=30ms        uniform extra latency in [0, 30ms) per delivery
+//	part=a|b          statically partition members a and b
+//	isolate=a         statically partition a from everyone
+//
+// All faults are drawn from one splitmix64 stream, so a (spec, seed)
+// pair replays the exact same fault schedule.
+type FaultSpec struct {
+	Drop     float64
+	Dup      float64
+	DelayMax time.Duration
+	Parts    [][2]string
+	Isolated []string
+}
+
+// probScale matches internal/chaos: probabilities compare as integer
+// thresholds so draws never depend on floating-point rounding.
+const probScale = 1 << 20
+
+// ParseFaults parses the spec grammar. The empty string is a fault-free
+// fabric.
+func ParseFaults(s string) (FaultSpec, error) {
+	var spec FaultSpec
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return spec, fmt.Errorf("clustertest: malformed fault %q (want key=value)", field)
+		}
+		switch key {
+		case "drop", "dup":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return spec, fmt.Errorf("clustertest: bad probability %q", field)
+			}
+			if key == "drop" {
+				spec.Drop = p
+			} else {
+				spec.Dup = p
+			}
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return spec, fmt.Errorf("clustertest: bad delay %q", field)
+			}
+			spec.DelayMax = d
+		case "part":
+			a, b, ok := strings.Cut(val, "|")
+			if !ok || a == "" || b == "" {
+				return spec, fmt.Errorf("clustertest: bad partition %q (want a|b)", field)
+			}
+			spec.Parts = append(spec.Parts, [2]string{a, b})
+		case "isolate":
+			if val == "" {
+				return spec, fmt.Errorf("clustertest: bad isolate %q", field)
+			}
+			spec.Isolated = append(spec.Isolated, val)
+		default:
+			return spec, fmt.Errorf("clustertest: unknown fault %q", key)
+		}
+	}
+	return spec, nil
+}
+
+// MustFaults is ParseFaults for test literals.
+func MustFaults(s string) FaultSpec {
+	spec, err := ParseFaults(s)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// Fabric is the in-process network between cluster members: it maps
+// virtual hosts ("http://node-0") to their handlers and injects the
+// configured faults on every delivery. Kill and partition state can also
+// be changed mid-test.
+type Fabric struct {
+	mu       sync.Mutex
+	rng      *chaos.Rand
+	spec     FaultSpec
+	handlers map[string]http.Handler
+	blocked  map[[2]string]bool
+	killed   map[string]bool
+}
+
+// NewFabric builds a fabric injecting spec's faults from the given seed.
+func NewFabric(spec FaultSpec, seed uint64) *Fabric {
+	f := &Fabric{
+		rng:      chaos.NewRand(seed),
+		spec:     spec,
+		handlers: make(map[string]http.Handler),
+		blocked:  make(map[[2]string]bool),
+		killed:   make(map[string]bool),
+	}
+	for _, p := range spec.Parts {
+		f.blocked[pairKey(p[0], p[1])] = true
+	}
+	for _, iso := range spec.Isolated {
+		f.isolateLocked(iso)
+	}
+	return f
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Register attaches a member's handler under its virtual host name.
+func (f *Fabric) Register(name string, h http.Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.handlers[name] = h
+}
+
+// Kill makes the member drop off the network entirely (the in-process
+// analogue of kill -9 for peer traffic: every RPC to or from it fails).
+func (f *Fabric) Kill(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.killed[name] = true
+}
+
+// Partition blocks traffic between a and b (both directions).
+func (f *Fabric) Partition(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.blocked[pairKey(a, b)] = true
+}
+
+// Heal unblocks traffic between a and b and clears any isolation of
+// either member.
+func (f *Fabric) Heal(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.blocked, pairKey(a, b))
+	kept := f.spec.Isolated[:0]
+	for _, iso := range f.spec.Isolated {
+		if iso != a && iso != b {
+			kept = append(kept, iso)
+		}
+	}
+	f.spec.Isolated = kept
+}
+
+// Isolate statically partitions name from every currently registered
+// member.
+func (f *Fabric) Isolate(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.isolateLocked(name)
+}
+
+func (f *Fabric) isolateLocked(name string) {
+	for other := range f.handlers {
+		if other != name {
+			f.blocked[pairKey(name, other)] = true
+		}
+	}
+	// Members registered later are isolated lazily via spec.Isolated.
+	found := false
+	for _, iso := range f.spec.Isolated {
+		if iso == name {
+			found = true
+		}
+	}
+	if !found {
+		f.spec.Isolated = append(f.spec.Isolated, name)
+	}
+}
+
+// Transport returns the RoundTripper a member uses for peer RPC: its
+// outgoing requests traverse the fabric and pick up faults.
+func (f *Fabric) Transport(self string) http.RoundTripper {
+	return &transport{f: f, self: self}
+}
+
+type transport struct {
+	f    *Fabric
+	self string
+}
+
+// decide draws this delivery's fate under the fabric lock so the fault
+// schedule is one deterministic stream.
+func (f *Fabric) decide(from, to string) (h http.Handler, delay time.Duration, dropBefore, dropAfter, dup bool, blocked bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h = f.handlers[to]
+	blocked = f.killed[from] || f.killed[to] || f.blocked[pairKey(from, to)]
+	for _, iso := range f.spec.Isolated {
+		if iso == from || iso == to {
+			blocked = true
+		}
+	}
+	if blocked || h == nil {
+		return
+	}
+	if f.spec.Drop > 0 && f.rng.Uint64()%probScale < uint64(f.spec.Drop*probScale) {
+		// Half the drops lose the request, half lose the response: the
+		// second kind leaves the side effect applied, which is what
+		// makes retries + duplication a real idempotency test.
+		if f.rng.Uint64()%2 == 0 {
+			dropBefore = true
+		} else {
+			dropAfter = true
+		}
+	}
+	if f.spec.Dup > 0 && f.rng.Uint64()%probScale < uint64(f.spec.Dup*probScale) {
+		dup = true
+	}
+	if f.spec.DelayMax > 0 {
+		delay = time.Duration(f.rng.Uint64() % uint64(f.spec.DelayMax))
+	}
+	return
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	to := req.URL.Host
+	h, delay, dropBefore, dropAfter, dup, blocked := t.f.decide(t.self, to)
+	if blocked {
+		return nil, fmt.Errorf("clustertest: %s -> %s: injected partition", t.self, to)
+	}
+	if h == nil {
+		return nil, fmt.Errorf("clustertest: unknown host %q", to)
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if dropBefore {
+		return nil, fmt.Errorf("clustertest: %s -> %s: injected drop", t.self, to)
+	}
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	deliver := func() *httptest.ResponseRecorder {
+		r2 := req.Clone(req.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, r2)
+		return rec
+	}
+	rec := deliver()
+	if dup {
+		deliver() // second delivery: response discarded, like a stale retry
+	}
+	if dropAfter {
+		return nil, fmt.Errorf("clustertest: %s -> %s: injected response drop", t.self, to)
+	}
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}

@@ -1,0 +1,264 @@
+package clustertest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// testNode is one in-process cluster member: a real service.Server with
+// its cluster.Node hooks wired in, serving client traffic over a real
+// httptest listener while all peer RPC flows through the fabric.
+type testNode struct {
+	name string
+	srv  *service.Server
+	node *cluster.Node
+	ts   *httptest.Server
+	reg  *obs.Registry
+}
+
+// clusterOpts tweaks startCluster per test.
+type clusterOpts struct {
+	replicas int
+	journals bool // give each node an on-disk journal
+}
+
+// startCluster boots n members named node-0..node-{n-1} over the fabric.
+// Cleanup stops nodes and drains servers automatically.
+func startCluster(t *testing.T, fabric *Fabric, n int, seed uint64, opts clusterOpts) []*testNode {
+	t.Helper()
+	if opts.replicas == 0 {
+		opts.replicas = 2
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("node-%d", i)
+	}
+	nodes := make([]*testNode, n)
+	for i, name := range names {
+		peers := make(map[string]string, n-1)
+		for _, other := range names {
+			if other != name {
+				peers[other] = "http://" + other
+			}
+		}
+		reg := obs.NewRegistry()
+		cn, err := cluster.New(cluster.Config{
+			Self:             name,
+			Peers:            peers,
+			Replicas:         opts.replicas,
+			Seed:             seed + uint64(i),
+			Registry:         reg,
+			Transport:        fabric.Transport(name),
+			Timeout:          500 * time.Millisecond,
+			Retries:          1,
+			BreakerThreshold: 3,
+			BreakerCooldown:  300 * time.Millisecond,
+			HedgeDelay:       10 * time.Millisecond,
+			ProbeInterval:    50 * time.Millisecond,
+			ProbeFailures:    3,
+			Logf:             t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scfg := service.Config{
+			Workers:      2,
+			QueueDepth:   16,
+			Parallelism:  2,
+			Logf:         t.Logf,
+			Registry:     reg,
+			CellResolver: cn.CellResolver(),
+			OnCacheFill:  cn.OnCacheFill,
+			OnJournal:    cn.OnJournal,
+		}
+		if opts.journals {
+			scfg.JournalPath = filepath.Join(t.TempDir(), name+".ndjson")
+		}
+		srv, err := service.New(scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn.SetBackend(srv)
+		mux := http.NewServeMux()
+		mux.Handle("/v1/cluster/", cn.Handler())
+		mux.Handle("/", srv.Handler())
+		fabric.Register(name, mux)
+		ts := httptest.NewServer(mux)
+		tn := &testNode{name: name, srv: srv, node: cn, ts: ts, reg: reg}
+		t.Cleanup(func() {
+			tn.node.Stop()
+			tn.ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			tn.srv.Drain(ctx)
+		})
+		nodes[i] = tn
+	}
+	// Start the background loops only once every member is registered on
+	// the fabric — otherwise the first member's failure detector sees
+	// not-yet-registered peers as dead.
+	for _, tn := range nodes {
+		tn.node.Start()
+	}
+	return nodes
+}
+
+// ----------------------------------------------------------- HTTP helpers
+
+func submitTo(t *testing.T, ts *httptest.Server, req service.JobRequest) service.JobStatus {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit to %s = %d: %s", ts.URL, resp.StatusCode, data)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func jobStatus(t *testing.T, ts *httptest.Server, id string) service.JobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) service.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		st := jobStatus(t, ts, id)
+		switch st.State {
+		case service.StateDone:
+			return st
+		case service.StateFailed, service.StateCanceled, service.StateRetryable:
+			t.Fatalf("job %s finished %s: %s", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck: %+v", id, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func jobResult(t *testing.T, ts *httptest.Server, id string) service.JobResult {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("result %s = %d: %s", id, resp.StatusCode, data)
+	}
+	var res service.JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func metrics(t *testing.T, ts *httptest.Server) *obs.Exposition {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	exp, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+// peerSample returns the value of a per-peer series from an exposition
+// (0 when absent).
+func peerSample(exp *obs.Exposition, name, peer string) float64 {
+	for _, s := range exp.Samples[name] {
+		if s.Labels["peer"] == peer {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+func counterValue(exp *obs.Exposition, name string) float64 {
+	var total float64
+	for _, s := range exp.Samples[name] {
+		total += s.Value
+	}
+	return total
+}
+
+// ---------------------------------------------------------- sweep tables
+
+// cellKey identifies a cell across runs and nodes.
+func cellID(c service.CellSpec) string {
+	return fmt.Sprintf("%s/%s/c%d/%s/e%d/l%d/cy%v", c.Benchmark, c.Setup, c.Cores, c.Style, c.Entries, c.Limit, c.Cycles)
+}
+
+// sweepTable folds a job result into cellID -> payload bytes.
+func sweepTable(t *testing.T, res service.JobResult) map[string][]byte {
+	t.Helper()
+	table := make(map[string][]byte, len(res.Cells))
+	for _, cell := range res.Cells {
+		var payload struct {
+			Spec service.CellSpec `json:"spec"`
+		}
+		if err := json.Unmarshal(cell.Data, &payload); err != nil {
+			t.Fatalf("cell payload unparseable: %v", err)
+		}
+		table[cellID(payload.Spec)] = cell.Data
+	}
+	return table
+}
+
+// assertTablesEqual fails unless both runs produced byte-identical
+// payloads for every cell.
+func assertTablesEqual(t *testing.T, label string, want, got map[string][]byte) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: table sizes differ: %d vs %d", label, len(want), len(got))
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("%s: cell %s missing", label, id)
+		}
+		if !bytes.Equal(w, g) {
+			t.Fatalf("%s: cell %s differs:\nbaseline: %s\ncluster:  %s", label, id, w, g)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package clustertest
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// sweepReq is the canonical workload for every invariance test: the full
+// benchmark suite under one setup — big enough that cells spread across
+// all ring owners, small enough to run in seconds.
+var sweepReq = service.JobRequest{Setups: []string{"CB-One"}, Cores: 16}
+
+var (
+	baselineOnce  sync.Once
+	baselineCells map[string][]byte
+)
+
+// baselineTable runs sweepReq once on a plain single-node server — no
+// cluster, no faults — and memoizes the per-cell payload bytes. Every
+// cluster run, under every fault schedule, must reproduce this table
+// byte for byte.
+func baselineTable(t *testing.T) map[string][]byte {
+	t.Helper()
+	baselineOnce.Do(func() {
+		srv, err := service.New(service.Config{Workers: 2, QueueDepth: 8, Parallelism: 2, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			srv.Drain(ctx)
+		}()
+		st := submitTo(t, ts, sweepReq)
+		waitDone(t, ts, st.ID)
+		baselineCells = sweepTable(t, jobResult(t, ts, st.ID))
+	})
+	if baselineCells == nil {
+		t.Fatal("baseline sweep failed in an earlier test")
+	}
+	return baselineCells
+}
+
+// TestClusterFaultScheduleInvariance is the core proof: three seeded
+// fault schedules — lossy, very lossy with duplication, slow with a
+// static partition — and in every one, overlapping sweeps submitted to
+// two different members complete and match the fault-free single-node
+// baseline byte for byte. Faults move work and cost time; they never
+// touch bytes.
+func TestClusterFaultScheduleInvariance(t *testing.T) {
+	baseline := baselineTable(t)
+	schedules := []struct {
+		name string
+		spec string
+		seed uint64
+	}{
+		{"lossy", "drop=0.15,delay=5ms,dup=0.1", 1},
+		{"very-lossy-dup", "drop=0.3,dup=0.2", 2},
+		{"slow-partitioned", "delay=8ms,part=node-0|node-1", 3},
+	}
+	for _, sched := range schedules {
+		t.Run(sched.name, func(t *testing.T) {
+			fabric := NewFabric(MustFaults(sched.spec), sched.seed)
+			nodes := startCluster(t, fabric, 3, sched.seed*100, clusterOpts{})
+			a := submitTo(t, nodes[0].ts, sweepReq)
+			b := submitTo(t, nodes[1].ts, sweepReq)
+			waitDone(t, nodes[0].ts, a.ID)
+			waitDone(t, nodes[1].ts, b.ID)
+			assertTablesEqual(t, sched.name+"/node-0", baseline, sweepTable(t, jobResult(t, nodes[0].ts, a.ID)))
+			assertTablesEqual(t, sched.name+"/node-1", baseline, sweepTable(t, jobResult(t, nodes[1].ts, b.ID)))
+		})
+	}
+}
+
+// TestClusterRemotePathsExercised pins that on a healthy fabric the
+// cluster actually moves work: the submitting node forwards cells to
+// their owners or pulls remote cache hits, and peers receive gossiped
+// fills — while the sweep table still matches the baseline.
+func TestClusterRemotePathsExercised(t *testing.T) {
+	baseline := baselineTable(t)
+	fabric := NewFabric(FaultSpec{}, 7)
+	nodes := startCluster(t, fabric, 3, 700, clusterOpts{})
+	st := submitTo(t, nodes[0].ts, sweepReq)
+	waitDone(t, nodes[0].ts, st.ID)
+	assertTablesEqual(t, "healthy", baseline, sweepTable(t, jobResult(t, nodes[0].ts, st.ID)))
+
+	exp := metrics(t, nodes[0].ts)
+	moved := counterValue(exp, "cluster_forward_total") + counterValue(exp, "cluster_remote_hits_total")
+	if moved == 0 {
+		t.Error("no cells crossed the wire: cluster is not clustering")
+	}
+	var fills float64
+	for _, n := range nodes {
+		fills += counterValue(metrics(t, n.ts), "cluster_fill_received_total")
+	}
+	if fills == 0 {
+		t.Error("no cache fills gossiped to any member")
+	}
+	if v, _ := metrics(t, nodes[0].ts).Value("cbsimd_cells_remote_total"); v == 0 {
+		t.Error("service layer recorded no remotely resolved cells")
+	}
+}
+
+// TestClusterPeerDeathAdoption kills a member mid-sweep (network-level
+// kill -9: every RPC to and from it fails) and expects its ring
+// successor to detect the death, adopt the replicated journal's pending
+// job, and complete it with baseline-identical bytes.
+func TestClusterPeerDeathAdoption(t *testing.T) {
+	baseline := baselineTable(t)
+	fabric := NewFabric(FaultSpec{}, 11)
+	nodes := startCluster(t, fabric, 3, 1100, clusterOpts{journals: true})
+	byName := map[string]*testNode{}
+	for _, n := range nodes {
+		byName[n.name] = n
+	}
+	adopterName := nodes[0].node.Ring().Successors("node-0", 2)[0]
+	adopter := byName[adopterName]
+
+	st := submitTo(t, nodes[0].ts, sweepReq)
+
+	// The submit record must reach the adopter before the kill.
+	waitFor(t, 10*time.Second, "journal record replicated to "+adopterName, func() bool {
+		return clusterStatus(t, adopter.ts).PeerJournalRecords("node-0") >= 1
+	})
+	// Let the sweep make some progress so the kill is genuinely mid-job.
+	waitFor(t, 60*time.Second, "first cell done on node-0", func() bool {
+		return jobStatus(t, nodes[0].ts, st.ID).CellsDone >= 1
+	})
+	fabric.Kill("node-0")
+
+	waitFor(t, 30*time.Second, "adoption on "+adopterName, func() bool {
+		return counterValue(metrics(t, adopter.ts), "cluster_adoptions_total") >= 1
+	})
+
+	// The adopted job is a fresh submission on the adopter; find it and
+	// see it through.
+	var adoptedID string
+	waitFor(t, 10*time.Second, "adopted job visible on "+adopterName, func() bool {
+		for _, job := range listJobs(t, adopter.ts) {
+			if job.Cells == len(baseline) {
+				adoptedID = job.ID
+				return true
+			}
+		}
+		return false
+	})
+	waitDone(t, adopter.ts, adoptedID)
+	assertTablesEqual(t, "adopted", baseline, sweepTable(t, jobResult(t, adopter.ts, adoptedID)))
+}
+
+// TestClusterIsolatedNodeStandalone pins the degradation contract: a
+// member partitioned from every peer keeps serving clients — no 5xx,
+// just local simulation — and its breakers report the outage.
+func TestClusterIsolatedNodeStandalone(t *testing.T) {
+	baseline := baselineTable(t)
+	fabric := NewFabric(MustFaults("isolate=node-2"), 13)
+	nodes := startCluster(t, fabric, 3, 1300, clusterOpts{})
+
+	st := submitTo(t, nodes[2].ts, sweepReq)
+	waitDone(t, nodes[2].ts, st.ID)
+	assertTablesEqual(t, "isolated", baseline, sweepTable(t, jobResult(t, nodes[2].ts, st.ID)))
+
+	exp := metrics(t, nodes[2].ts)
+	if moved := counterValue(exp, "cluster_forward_total") + counterValue(exp, "cluster_remote_hits_total"); moved != 0 {
+		t.Errorf("isolated node moved %v cells across a dead network", moved)
+	}
+	waitFor(t, 10*time.Second, "breakers open on isolated node", func() bool {
+		exp := metrics(t, nodes[2].ts)
+		return peerSample(exp, "cluster_breaker_state", "node-0") == obs.BreakerOpen &&
+			peerSample(exp, "cluster_breaker_state", "node-1") == obs.BreakerOpen
+	})
+}
+
+// TestClusterHedgedReadAndBreakerRecovery exercises the latency hedge
+// and the full breaker cycle: with the owner partitioned away, a read
+// for a replicated key is won by the backup replica (hedge win), the
+// breaker toward the owner opens, and after the partition heals it
+// probes half-open and closes again — all observable in /metrics.
+func TestClusterHedgedReadAndBreakerRecovery(t *testing.T) {
+	baseline := baselineTable(t)
+	fabric := NewFabric(FaultSpec{}, 17)
+	nodes := startCluster(t, fabric, 3, 1700, clusterOpts{})
+	byName := map[string]*testNode{}
+	for _, n := range nodes {
+		byName[n.name] = n
+	}
+
+	// Warm the cluster from node-1 so fills land on every key's replica
+	// set.
+	warm := submitTo(t, nodes[1].ts, sweepReq)
+	waitDone(t, nodes[1].ts, warm.ID)
+
+	// Pick a cell whose replica set excludes node-0: node-0 must go to
+	// the network for it, and has a backup to hedge against.
+	cells, err := sweepReq.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := nodes[0].node.Ring()
+	var spec service.CellSpec
+	var owner, backup string
+	for _, c := range cells {
+		members := ring.Lookup(c.Key(service.DefaultVersionSalt), 2)
+		if members[0] != "node-0" && members[1] != "node-0" {
+			spec, owner, backup = c, members[0], members[1]
+			break
+		}
+	}
+	if owner == "" {
+		t.Fatal("no suite cell lands entirely off node-0; enlarge the sweep")
+	}
+	key := spec.Key(service.DefaultVersionSalt)
+	waitFor(t, 30*time.Second, "fill gossiped to backup "+backup, func() bool {
+		resp, err := http.Get(byName[backup].ts.URL + "/v1/cluster/cache/" + key)
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+
+	fabric.Partition("node-0", owner)
+	st := submitTo(t, nodes[0].ts, service.JobRequest{
+		Benchmark: spec.Benchmark, Setup: spec.Setup, Cores: spec.Cores,
+	})
+	fin := waitDone(t, nodes[0].ts, st.ID)
+	if fin.CacheHits != 1 {
+		t.Errorf("hedged cell not served as a cache hit: %+v", fin)
+	}
+	got := sweepTable(t, jobResult(t, nodes[0].ts, st.ID))
+	for id, data := range got {
+		if string(baseline[id]) != string(data) {
+			t.Errorf("hedged read returned different bytes for %s", id)
+		}
+	}
+	exp := metrics(t, nodes[0].ts)
+	if counterValue(exp, "cluster_hedged_reads_total") == 0 {
+		t.Error("no hedged read launched despite partitioned owner")
+	}
+	if counterValue(exp, "cluster_hedge_wins_total") == 0 {
+		t.Error("backup replica never won the hedge")
+	}
+
+	// The failure detector opens the breaker toward the dead owner...
+	waitFor(t, 10*time.Second, "breaker opens toward "+owner, func() bool {
+		exp := metrics(t, nodes[0].ts)
+		return peerSample(exp, "cluster_breaker_state", owner) == obs.BreakerOpen &&
+			peerSample(exp, "cluster_breaker_opens_total", owner) >= 1
+	})
+	// ...and healing the partition walks it half-open -> closed.
+	fabric.Heal("node-0", owner)
+	waitFor(t, 10*time.Second, "breaker closes after heal", func() bool {
+		return peerSample(metrics(t, nodes[0].ts), "cluster_breaker_state", owner) == obs.BreakerClosed
+	})
+}
+
+// ------------------------------------------------------------ test helpers
+
+func waitFor(t *testing.T, timeout time.Duration, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !ok() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func clusterStatus(t *testing.T, ts *httptest.Server) statusView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st cluster.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return statusView{st}
+}
+
+type statusView struct{ cluster.Status }
+
+func (v statusView) PeerJournalRecords(name string) int {
+	for _, p := range v.Peers {
+		if p.Name == name {
+			return p.JournalRecords
+		}
+	}
+	return 0
+}
+
+func listJobs(t *testing.T, ts *httptest.Server) []service.JobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Jobs []service.JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Jobs
+}

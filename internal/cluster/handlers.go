@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// Handler returns the peer-RPC surface, to be mounted under /v1/cluster/
+// on the daemon's mux. These endpoints are cluster-internal: they trade
+// raw cell payloads and journal records between members. Client-facing
+// behavior (the /v1/jobs API) never depends on them.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster/status", n.handleStatus)
+	mux.HandleFunc("GET /v1/cluster/cache/{key}", n.handleCacheGet)
+	mux.HandleFunc("PUT /v1/cluster/cache/{key}", n.handleCachePut)
+	mux.HandleFunc("POST /v1/cluster/cell", n.handleCell)
+	mux.HandleFunc("POST /v1/cluster/journal", n.handleJournal)
+	return mux
+}
+
+func clusterJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+type clusterError struct {
+	Error string `json:"error"`
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	clusterJSON(w, http.StatusOK, n.Status())
+}
+
+func (n *Node) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	b := n.getBackend()
+	if b == nil {
+		clusterJSON(w, http.StatusServiceUnavailable, clusterError{"backend not attached"})
+		return
+	}
+	data, ok := b.CacheGet(r.PathValue("key"))
+	if !ok {
+		clusterJSON(w, http.StatusNotFound, clusterError{"miss"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (n *Node) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	b := n.getBackend()
+	if b == nil {
+		clusterJSON(w, http.StatusServiceUnavailable, clusterError{"backend not attached"})
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxRPCBody))
+	if err != nil || len(data) == 0 {
+		clusterJSON(w, http.StatusBadRequest, clusterError{"empty or unreadable fill"})
+		return
+	}
+	b.CachePut(r.PathValue("key"), data)
+	n.metrics.FillsReceived.Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (n *Node) handleCell(w http.ResponseWriter, r *http.Request) {
+	b := n.getBackend()
+	if b == nil {
+		clusterJSON(w, http.StatusServiceUnavailable, clusterError{"backend not attached"})
+		return
+	}
+	var spec service.CellSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		clusterJSON(w, http.StatusBadRequest, clusterError{"bad cell spec: " + err.Error()})
+		return
+	}
+	data, cached, err := b.ResolveCell(r.Context(), spec)
+	switch {
+	case errors.Is(err, service.ErrBusy):
+		clusterJSON(w, http.StatusTooManyRequests, clusterError{err.Error()})
+	case errors.Is(err, service.ErrDraining):
+		clusterJSON(w, http.StatusServiceUnavailable, clusterError{err.Error()})
+	case err != nil:
+		clusterJSON(w, http.StatusUnprocessableEntity, clusterError{err.Error()})
+	default:
+		if cached {
+			w.Header().Set("X-Cbsim-Cached", "1")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	}
+}
+
+func (n *Node) handleJournal(w http.ResponseWriter, r *http.Request) {
+	var rr replicatedRecord
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&rr); err != nil {
+		clusterJSON(w, http.StatusBadRequest, clusterError{"bad journal record: " + err.Error()})
+		return
+	}
+	if rr.Origin == "" || rr.Origin == n.cfg.Self {
+		clusterJSON(w, http.StatusBadRequest, clusterError{"bad journal origin"})
+		return
+	}
+	n.store.add(rr.Origin, rr.Record)
+	n.metrics.JournalRecordsReceived.Inc()
+	w.WriteHeader(http.StatusNoContent)
+}

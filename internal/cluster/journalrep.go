@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/service"
+)
+
+// replicatedRecord is the wire unit of journal replication (POST
+// /v1/cluster/journal): one service.JournalRecord stamped with the node
+// it originated on.
+type replicatedRecord struct {
+	Origin string                `json:"origin"`
+	Record service.JournalRecord `json:"record"`
+}
+
+// journalStore holds the journal records replicated to this node, per
+// origin peer. It is the raw material for dead-peer adoption: folding an
+// origin's records yields the jobs that peer accepted but never
+// finished.
+type journalStore struct {
+	mu       sync.Mutex
+	byOrigin map[string][]service.JournalRecord
+}
+
+func newJournalStore() *journalStore {
+	return &journalStore{byOrigin: make(map[string][]service.JournalRecord)}
+}
+
+func (st *journalStore) add(origin string, rec service.JournalRecord) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.byOrigin[origin] = append(st.byOrigin[origin], rec)
+}
+
+// records returns how many records are held for origin.
+func (st *journalStore) records(origin string) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.byOrigin[origin])
+}
+
+// pending folds origin's replicated records into the requests of jobs
+// that never reached a terminal state, in submission order — the same
+// fold the origin itself would run on boot. Resubmitting them elsewhere
+// is safe: results are deterministic and cells the origin did complete
+// are reused through the content-addressed cache.
+func (st *journalStore) pending(origin string) []service.JobRequest {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	reqs := make(map[string]*service.JobRequest)
+	done := make(map[string]bool)
+	var order []string
+	for _, r := range st.byOrigin[origin] {
+		switch r.Op {
+		case "submit":
+			if r.Req == nil || reqs[r.ID] != nil {
+				continue
+			}
+			reqs[r.ID] = r.Req
+			order = append(order, r.ID)
+		case "done":
+			done[r.ID] = true
+		}
+	}
+	var out []service.JobRequest
+	for _, id := range order {
+		if !done[id] {
+			out = append(out, *reqs[id])
+		}
+	}
+	return out
+}
+
+// drop forgets origin's records (after adoption, or when the origin
+// comes back and re-owns its jobs).
+func (st *journalStore) drop(origin string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.byOrigin, origin)
+}

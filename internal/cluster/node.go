@@ -1,0 +1,521 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// Backend is what a cluster node needs from its local daemon.
+// *service.Server implements it; clustertest wires in-process servers
+// straight through.
+type Backend interface {
+	// ResolveCell computes (or cache-serves) one cell on behalf of a
+	// peer, bounded so stolen work cannot starve local jobs.
+	ResolveCell(ctx context.Context, c service.CellSpec) (data []byte, cached bool, err error)
+	// CacheGet / CachePut touch the local result cache only (no
+	// resolver, no recursion).
+	CacheGet(key string) ([]byte, bool)
+	CachePut(key string, data []byte)
+	// SubmitJob re-owns a dead peer's journaled job.
+	SubmitJob(req service.JobRequest) (service.JobStatus, error)
+	// Load reports the local work level for forwarding decisions.
+	Load() service.LoadInfo
+	// VersionSalt is the cache salt, so key hashing matches the workers.
+	VersionSalt() string
+}
+
+// The daemon's server is the canonical backend.
+var _ Backend = (*service.Server)(nil)
+
+// Config configures one cluster node.
+type Config struct {
+	// Self is this node's name; Peers maps every other member's name to
+	// its base URL. Membership is static: every member must be given the
+	// same name set or ring lookups will disagree.
+	Self  string
+	Peers map[string]string
+	// SelfURL is the advertised URL reported in /v1/cluster/status.
+	SelfURL string
+	// Replicas is the number of members holding each key, owner included
+	// (default 2, clamped to the membership size).
+	Replicas int
+	// VNodes is the virtual points per member on the hash ring (default
+	// 64); must match on every member.
+	VNodes int
+	// Seed drives the client's backoff-jitter stream.
+	Seed uint64
+	// Registry receives the cluster metric families (nil: private).
+	Registry *obs.Registry
+	// Transport overrides the peer HTTP transport (tests inject the
+	// fault fabric).
+	Transport http.RoundTripper
+	// RPC hardening knobs, passed to ClientConfig (zero = defaults).
+	Timeout          time.Duration
+	Retries          int
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	HedgeDelay       time.Duration
+	// ProbeInterval is the failure-detector period (default 1s);
+	// ProbeFailures consecutive failed probes declare a peer dead
+	// (default 3).
+	ProbeInterval time.Duration
+	ProbeFailures int
+	// Now is the breaker clock (nil: wall clock). Logf defaults to a
+	// no-op.
+	Now  func() time.Time
+	Logf func(format string, args ...any)
+}
+
+func (c Config) fill() (Config, error) {
+	if c.Self == "" {
+		return c, errors.New("cluster: Config.Self is required")
+	}
+	if _, ok := c.Peers[c.Self]; ok {
+		return c, fmt.Errorf("cluster: Self %q must not appear in Peers", c.Self)
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if n := len(c.Peers) + 1; c.Replicas > n {
+		c.Replicas = n
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeFailures <= 0 {
+		c.ProbeFailures = 3
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c, nil
+}
+
+// Node is one member of a cbsimd cluster: it owns the ring, the hardened
+// peer client, the replicated-journal store, and the background loops
+// (fill gossip, journal streaming, failure detection / adoption). Wire
+// its CellResolver/OnCacheFill/OnJournal into service.Config, mount
+// Handler() under /v1/cluster/, then SetBackend + Start.
+type Node struct {
+	cfg     Config
+	ring    *Ring
+	client  *Client
+	metrics *obs.ClusterMetrics
+	store   *journalStore
+
+	backend atomic.Value // Backend
+
+	fills     chan fillMsg
+	journalCh chan service.JournalRecord
+	quit      chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+
+	mu      sync.Mutex
+	health  map[string]*peerHealth
+	adopted map[string]bool
+}
+
+type fillMsg struct {
+	key  string
+	data []byte
+}
+
+type peerHealth struct {
+	fails int
+	alive bool
+	load  service.LoadInfo
+}
+
+// New builds a node. The backend is attached separately (SetBackend)
+// because the service.Server is usually constructed after the node, with
+// the node's hooks in its Config.
+func New(cfg Config) (*Node, error) {
+	cfg, err := cfg.fill()
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	metrics := obs.NewClusterMetrics(reg)
+	members := make([]string, 0, len(cfg.Peers)+1)
+	members = append(members, cfg.Self)
+	for name := range cfg.Peers {
+		members = append(members, name)
+	}
+	n := &Node{
+		cfg:     cfg,
+		ring:    NewRing(members, cfg.VNodes),
+		metrics: metrics,
+		store:   newJournalStore(),
+		fills:   make(chan fillMsg, 256),
+		// Sized generously: journal records are tiny and dropping one
+		// only weakens replication, never correctness.
+		journalCh: make(chan service.JournalRecord, 1024),
+		quit:      make(chan struct{}),
+		health:    make(map[string]*peerHealth, len(cfg.Peers)),
+		adopted:   make(map[string]bool),
+	}
+	n.client = NewClient(ClientConfig{
+		Peers:            cfg.Peers,
+		Transport:        cfg.Transport,
+		Timeout:          cfg.Timeout,
+		Retries:          cfg.Retries,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
+		HedgeDelay:       cfg.HedgeDelay,
+		Seed:             cfg.Seed,
+		Metrics:          metrics,
+		Now:              cfg.Now,
+	})
+	for name := range cfg.Peers {
+		n.health[name] = &peerHealth{alive: true}
+	}
+	return n, nil
+}
+
+// SetBackend attaches the local daemon. Must be called before Start.
+func (n *Node) SetBackend(b Backend) { n.backend.Store(&b) }
+
+func (n *Node) getBackend() Backend {
+	v := n.backend.Load()
+	if v == nil {
+		return nil
+	}
+	return *v.(*Backend)
+}
+
+// Metrics exposes the node's cluster metric handles (tests assert on
+// them; cmd/cbsimd shares the registry instead).
+func (n *Node) Metrics() *obs.ClusterMetrics { return n.metrics }
+
+// Ring exposes the node's hash ring (read-only).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Start launches the background loops. Stop is idempotent and waits for
+// them to finish.
+func (n *Node) Start() {
+	if n.getBackend() == nil {
+		panic("cluster: Start before SetBackend")
+	}
+	n.wg.Add(3)
+	go n.gossipLoop()
+	go n.journalLoop()
+	go n.probeLoop()
+}
+
+// Stop terminates the background loops.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.quit) })
+	n.wg.Wait()
+}
+
+// ---------------------------------------------------------------- resolving
+
+// CellResolver returns the hook for service.Config.CellResolver: on a
+// local cache miss it tries the cluster before the worker simulates. Any
+// failure returns ok=false — the cell is simulated locally, so a
+// partitioned node degrades to standalone behavior instead of erroring.
+func (n *Node) CellResolver() func(ctx context.Context, c service.CellSpec, key string) ([]byte, bool) {
+	return func(ctx context.Context, c service.CellSpec, key string) ([]byte, bool) {
+		data := n.resolve(ctx, c, key)
+		return data, data != nil
+	}
+}
+
+func (n *Node) resolve(ctx context.Context, c service.CellSpec, key string) []byte {
+	members := n.ring.Lookup(key, n.cfg.Replicas)
+	if len(members) == 0 {
+		return nil
+	}
+	owner := members[0]
+	if owner == n.cfg.Self {
+		// We own the key and it missed our cache, so it must be
+		// computed. Offload to an idle peer only when we are saturated —
+		// otherwise local simulation is both the fast and the simple
+		// path.
+		if idle := n.idlePeer(); idle != "" && n.saturated() {
+			if data, err := n.client.ComputeCell(ctx, idle, c); err == nil {
+				n.metrics.Steals.Inc()
+				return data
+			}
+		}
+		return nil
+	}
+	// Another member owns the key: hedge a cache read against owner +
+	// one replica.
+	backup := ""
+	for _, m := range members[1:] {
+		if m != n.cfg.Self {
+			backup = m
+			break
+		}
+	}
+	if data, ok, _ := n.client.HedgedGetCell(ctx, owner, backup, key); ok {
+		n.metrics.RemoteHits.Inc()
+		return data
+	}
+	// Nobody has it yet: forward the computation to the owner so the
+	// result lands where future lookups will go.
+	if data, err := n.client.ComputeCell(ctx, owner, c); err == nil {
+		n.metrics.Forwards.Inc()
+		return data
+	}
+	return nil
+}
+
+// saturated reports whether local workers and queue are both busy.
+func (n *Node) saturated() bool {
+	b := n.getBackend()
+	if b == nil {
+		return false
+	}
+	l := b.Load()
+	return l.Busy >= l.Workers && l.QueueDepth > 0
+}
+
+// idlePeer returns an alive, non-draining peer with spare workers ("" if
+// none), preferring names in sorted order.
+func (n *Node) idlePeer() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	names := make([]string, 0, len(n.health))
+	for name := range n.health {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := n.health[name]
+		if h.alive && !h.load.Draining && h.load.Busy < h.load.Workers {
+			return name
+		}
+	}
+	return ""
+}
+
+// ------------------------------------------------------------------ gossip
+
+// OnCacheFill is the hook for service.Config.OnCacheFill: a fresh local
+// simulation's payload is offered (asynchronously, best-effort) to the
+// key's replica set. Dropping a fill is harmless — any member can always
+// recompute the identical bytes.
+func (n *Node) OnCacheFill(key string, data []byte) {
+	select {
+	case n.fills <- fillMsg{key, data}:
+	default:
+	}
+}
+
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case msg := <-n.fills:
+			for _, m := range n.ring.Lookup(msg.key, n.cfg.Replicas) {
+				if m == n.cfg.Self {
+					continue
+				}
+				if err := n.client.PutFill(context.Background(), m, msg.key, msg.data); err == nil {
+					n.metrics.FillsSent.Inc()
+				}
+			}
+		}
+	}
+}
+
+// ----------------------------------------------------------------- journal
+
+// OnJournal is the hook for service.Config.OnJournal: every record the
+// local daemon appends is streamed (asynchronously, best-effort) to this
+// node's ring successors, so one of them can re-own our unfinished jobs
+// if we die. The submit path is never blocked: under pressure records
+// are dropped, weakening replication but never local durability.
+func (n *Node) OnJournal(rec service.JournalRecord) {
+	select {
+	case n.journalCh <- rec:
+	default:
+	}
+}
+
+// journalReplicas are the members that mirror this node's journal.
+func (n *Node) journalReplicas() []string {
+	return n.ring.Successors(n.cfg.Self, n.cfg.Replicas-1)
+}
+
+func (n *Node) journalLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case rec := <-n.journalCh:
+			for _, m := range n.journalReplicas() {
+				if err := n.client.SendJournal(context.Background(), m, n.cfg.Self, rec); err == nil {
+					n.metrics.JournalRecordsSent.Inc()
+				}
+			}
+		}
+	}
+}
+
+// --------------------------------------------- failure detection / adoption
+
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case <-ticker.C:
+			n.probeOnce()
+		}
+	}
+}
+
+func (n *Node) probeOnce() {
+	for _, name := range n.client.Peers() {
+		load, err := n.client.Probe(context.Background(), name)
+		n.mu.Lock()
+		h := n.health[name]
+		if err != nil {
+			h.fails++
+			if h.alive && h.fails >= n.cfg.ProbeFailures {
+				h.alive = false
+				n.mu.Unlock()
+				n.cfg.Logf("cluster: peer %s declared dead after %d failed probes", name, h.fails)
+				n.maybeAdopt(name)
+				continue
+			}
+		} else {
+			h.fails = 0
+			h.load = load
+			if !h.alive {
+				h.alive = true
+				// The peer is back: it re-owns its own journal on boot,
+				// and may die again later — allow a fresh adoption then.
+				n.adopted[name] = false
+				n.cfg.Logf("cluster: peer %s is back", name)
+			}
+		}
+		n.mu.Unlock()
+	}
+}
+
+// maybeAdopt re-owns dead's unfinished jobs if this node is the first
+// live member on dead's successor list. Exactly one survivor adopts;
+// even a double adoption would be harmless (deterministic results,
+// content-addressed cache), just wasteful.
+func (n *Node) maybeAdopt(dead string) {
+	n.mu.Lock()
+	already := n.adopted[dead]
+	adopter := ""
+	for _, s := range n.ring.Successors(dead, len(n.ring.members)-1) {
+		if s == n.cfg.Self {
+			adopter = s
+			break
+		}
+		if h := n.health[s]; h != nil && h.alive {
+			adopter = s
+			break
+		}
+	}
+	if adopter == n.cfg.Self && !already {
+		n.adopted[dead] = true
+	}
+	n.mu.Unlock()
+	if adopter != n.cfg.Self || already {
+		return
+	}
+	b := n.getBackend()
+	if b == nil {
+		return
+	}
+	pending := n.store.pending(dead)
+	n.cfg.Logf("cluster: adopting %d pending jobs from dead peer %s", len(pending), dead)
+	for _, req := range pending {
+		if _, err := b.SubmitJob(req); err != nil {
+			n.cfg.Logf("cluster: adopting job from %s: %v", dead, err)
+			continue
+		}
+		n.metrics.Adoptions.Inc()
+	}
+	n.store.drop(dead)
+}
+
+// ------------------------------------------------------------------- status
+
+// StatusPeer is one peer's health as this node sees it.
+type StatusPeer struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Alive   bool   `json:"alive"`
+	Breaker string `json:"breaker"` // closed | half-open | open
+	Fails   int    `json:"fails"`
+	// JournalRecords is how many of the peer's journal records this node
+	// holds for adoption.
+	JournalRecords int `json:"journal_records"`
+}
+
+// Status is the payload of GET /v1/cluster/status.
+type Status struct {
+	Self     string           `json:"self"`
+	URL      string           `json:"url,omitempty"`
+	Members  []string         `json:"members"`
+	Replicas int              `json:"replicas"`
+	Load     service.LoadInfo `json:"load"`
+	Peers    []StatusPeer     `json:"peers"`
+}
+
+func breakerName(state int) string {
+	switch state {
+	case obs.BreakerOpen:
+		return "open"
+	case obs.BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Status snapshots the node's view of the cluster.
+func (n *Node) Status() Status {
+	st := Status{
+		Self:     n.cfg.Self,
+		URL:      n.cfg.SelfURL,
+		Members:  n.ring.Members(),
+		Replicas: n.cfg.Replicas,
+	}
+	if b := n.getBackend(); b != nil {
+		st.Load = b.Load()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, name := range n.client.Peers() {
+		h := n.health[name]
+		state, _ := n.client.BreakerState(name)
+		st.Peers = append(st.Peers, StatusPeer{
+			Name:           name,
+			URL:            n.cfg.Peers[name],
+			Alive:          h.alive,
+			Breaker:        breakerName(state),
+			Fails:          h.fails,
+			JournalRecords: n.store.records(name),
+		})
+	}
+	return st
+}

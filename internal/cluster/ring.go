@@ -1,0 +1,131 @@
+// Package cluster turns N independent cbsimd daemons into one
+// peer-replicated, failure-tolerant simulation service. Membership is
+// static (the -peers flag); the content-addressed result cache is
+// consistent-hashed across members (cell key -> owner + replicas);
+// queued cells are forwarded to their owner or offloaded to idle peers;
+// cache fills are gossiped to the key's replica set; and the job journal
+// is streamed to ring successors so a surviving replica can re-own a
+// dead peer's unfinished jobs.
+//
+// Correctness never depends on any of this working: every cell result
+// is deterministic and content-addressed, so a remote fetch, a forwarded
+// computation, and a local simulation produce byte-identical payloads.
+// Cluster machinery is purely an accelerator — a fully partitioned node
+// degrades to standalone behavior (never 500s, only slower), which is
+// what internal/cluster/clustertest proves under seeded network faults.
+//
+// The package sits at the RPC edge, outside the deterministic simulation
+// core, so it is deliberately exempt from the cbvet determinism analyzer
+// (wall-clock timeouts and goroutines are its job; see
+// internal/analysis).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVnodes is the number of virtual points each member contributes
+// to the ring. More points smooth the key distribution; the value only
+// has to be identical on every member for lookups to agree.
+const defaultVnodes = 64
+
+// Ring is a consistent-hash ring over a static membership. It is
+// immutable after construction and safe for concurrent use. Every member
+// builds its ring from the same sorted member list, so all members agree
+// on every key's owner and replica set without coordination.
+type Ring struct {
+	points  []ringPoint
+	members []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer: plain FNV of short,
+// near-identical strings ("node-1#17") leaves the points lumpy enough to
+// badly skew ownership; the finalizer avalanches them across the ring.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// NewRing builds a ring over members (deduplicated, sorted) with vnodes
+// virtual points per member (defaultVnodes when <= 0).
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	seen := make(map[string]bool, len(members))
+	sorted := make([]string, 0, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			sorted = append(sorted, m)
+		}
+	}
+	sort.Strings(sorted)
+	r := &Ring{members: sorted}
+	for _, m := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash64(fmt.Sprintf("%s#%d", m, v)), m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Members returns the sorted membership.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Lookup returns the n distinct members responsible for key, owner
+// first, walking clockwise from the key's point. n is clamped to the
+// membership size.
+func (r *Ring) Lookup(key string, n int) []string {
+	return r.walk(hash64(key), n, "")
+}
+
+// Successors returns up to n distinct members that follow member's first
+// virtual point clockwise, excluding member itself. This is the replica
+// set for member-scoped state (its journal stream): the members that
+// take over when it dies.
+func (r *Ring) Successors(member string, n int) []string {
+	return r.walk(hash64(fmt.Sprintf("%s#0", member))+1, n, member)
+}
+
+func (r *Ring) walk(from uint64, n int, skip string) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	limit := len(r.members)
+	if skip != "" {
+		limit--
+	}
+	if n > limit {
+		n = limit
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= from })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if p.node == skip || seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
+}

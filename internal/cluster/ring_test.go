@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingAgreementAndDistribution(t *testing.T) {
+	// Two rings built from the same membership in different input orders
+	// must agree on every lookup — that is what lets members route
+	// without coordination.
+	a := NewRing([]string{"node-0", "node-1", "node-2"}, 0)
+	b := NewRing([]string{"node-2", "node-0", "node-1", "node-1"}, 0)
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("cell-key-%d", i)
+		la, lb := a.Lookup(key, 2), b.Lookup(key, 2)
+		if len(la) != 2 || len(lb) != 2 {
+			t.Fatalf("lookup(%q) sizes = %d/%d", key, len(la), len(lb))
+		}
+		for j := range la {
+			if la[j] != lb[j] {
+				t.Fatalf("rings disagree on %q: %v vs %v", key, la, lb)
+			}
+		}
+		if la[0] == la[1] {
+			t.Fatalf("replica set has duplicate member: %v", la)
+		}
+		counts[la[0]]++
+	}
+	// Every member should own a meaningful share of keys (vnodes smooth
+	// the split; an exact third is not expected).
+	for _, m := range a.Members() {
+		if counts[m] < 100 {
+			t.Errorf("member %s owns only %d/1000 keys: %v", m, counts[m], counts)
+		}
+	}
+}
+
+func TestRingLookupClamps(t *testing.T) {
+	r := NewRing([]string{"only"}, 4)
+	if got := r.Lookup("k", 3); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("lookup on singleton = %v", got)
+	}
+	if got := NewRing(nil, 4).Lookup("k", 1); got != nil {
+		t.Fatalf("lookup on empty ring = %v", got)
+	}
+}
+
+func TestRingSuccessorsExcludeSelf(t *testing.T) {
+	r := NewRing([]string{"node-0", "node-1", "node-2"}, 0)
+	for _, m := range r.Members() {
+		succ := r.Successors(m, 2)
+		if len(succ) != 2 {
+			t.Fatalf("successors(%s) = %v", m, succ)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if s == m {
+				t.Fatalf("successors(%s) contains self: %v", m, succ)
+			}
+			if seen[s] {
+				t.Fatalf("successors(%s) has duplicates: %v", m, succ)
+			}
+			seen[s] = true
+		}
+	}
+}

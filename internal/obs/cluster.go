@@ -1,0 +1,128 @@
+package obs
+
+import "sync"
+
+// ClusterMetrics is the observability surface of cbsimd's cluster mode
+// (internal/cluster): cluster-wide counters for work movement (forwards,
+// steals, cache-fill gossip, journal replication, dead-peer adoption)
+// plus a per-peer block of RPC latency histograms, error/retry counters,
+// and circuit-breaker state gauges. One instance is registered per node;
+// everything lands in the same Registry the daemon serves at GET
+// /metrics, so breaker transitions and hedged-read wins are observable
+// exactly like cache hits are.
+type ClusterMetrics struct {
+	reg *Registry
+
+	// Forwards counts cells this node sent to their owning peer for
+	// computation instead of simulating locally.
+	Forwards *Counter
+	// Steals counts queued cells this node computed on behalf of a busy
+	// peer (work stealing; the inverse direction of Forwards).
+	Steals *Counter
+	// RemoteHits counts cells resolved from a peer's cache — the bytes
+	// came over the wire instead of from a local simulation.
+	RemoteHits *Counter
+	// FillsSent / FillsReceived count cache-fill gossip messages: after a
+	// local simulation the payload is offered to the key's replica set.
+	FillsSent     *Counter
+	FillsReceived *Counter
+	// HedgedReads counts reads where a backup request was launched
+	// against a replica because the owner was slow; HedgeWins counts the
+	// subset where the backup answered first.
+	HedgedReads *Counter
+	HedgeWins   *Counter
+	// JournalRecordsSent / JournalRecordsReceived count job-journal
+	// records replicated to (resp. accepted from) peers.
+	JournalRecordsSent     *Counter
+	JournalRecordsReceived *Counter
+	// Adoptions counts jobs this node re-owned from a peer it declared
+	// dead, via the replicated journal.
+	Adoptions *Counter
+
+	mu    sync.Mutex
+	peers map[string]*PeerMetrics
+}
+
+// PeerMetrics is the per-peer block of a ClusterMetrics: every series
+// carries a peer="<name>" label.
+type PeerMetrics struct {
+	// RPCSeconds observes the latency of every completed RPC attempt to
+	// the peer, successful or not.
+	RPCSeconds *Histogram
+	// RPCErrors counts failed RPC attempts (transport errors, non-2xx
+	// statuses, timeouts); Retries counts the backoff re-attempts those
+	// failures triggered.
+	RPCErrors *Counter
+	Retries   *Counter
+	// BreakerState is the peer circuit breaker's current state encoded as
+	// 0 = closed (healthy), 1 = half-open (probing), 2 = open (refusing).
+	BreakerState *Gauge
+	// BreakerOpens counts closed->open transitions: each is one detected
+	// peer failure episode.
+	BreakerOpens *Counter
+}
+
+// Circuit-breaker states as exposed by the cluster_breaker_state gauge.
+const (
+	BreakerClosed   = 0
+	BreakerHalfOpen = 1
+	BreakerOpen     = 2
+)
+
+// NewClusterMetrics registers the cluster metric families in reg and
+// returns the handle bundle. Registration is idempotent (the Registry
+// dedups by name+labels), so wiring several components to the same
+// registry is safe.
+func NewClusterMetrics(reg *Registry) *ClusterMetrics {
+	return &ClusterMetrics{
+		reg: reg,
+		Forwards: reg.Counter("cluster_forward_total",
+			"Cells forwarded to their owning peer for computation."),
+		Steals: reg.Counter("cluster_steal_total",
+			"Queued cells computed on behalf of a busy peer."),
+		RemoteHits: reg.Counter("cluster_remote_hits_total",
+			"Cells resolved from a peer's cache instead of local simulation."),
+		FillsSent: reg.Counter("cluster_fill_sent_total",
+			"Cache-fill gossip messages sent to replica peers."),
+		FillsReceived: reg.Counter("cluster_fill_received_total",
+			"Cache-fill gossip messages accepted from peers."),
+		HedgedReads: reg.Counter("cluster_hedged_reads_total",
+			"Reads that launched a backup request against a replica."),
+		HedgeWins: reg.Counter("cluster_hedge_wins_total",
+			"Hedged reads where the backup replica answered first."),
+		JournalRecordsSent: reg.Counter("cluster_journal_records_sent_total",
+			"Job-journal records replicated to peers."),
+		JournalRecordsReceived: reg.Counter("cluster_journal_records_received_total",
+			"Job-journal records accepted from peers."),
+		Adoptions: reg.Counter("cluster_adoptions_total",
+			"Jobs re-owned from dead peers via the replicated journal."),
+		peers: make(map[string]*PeerMetrics),
+	}
+}
+
+// Peer returns the per-peer metric block for name, creating and caching
+// it on first use. The returned handles are lock-free; this call takes a
+// lock and belongs outside hot loops.
+func (m *ClusterMetrics) Peer(name string) *PeerMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.peers[name]; ok {
+		return p
+	}
+	l := L("peer", name)
+	p := &PeerMetrics{
+		RPCSeconds: m.reg.Histogram("cluster_peer_rpc_seconds",
+			"Latency of RPC attempts to the peer, including failures.",
+			ExpBuckets(0.001, 2, 12), l),
+		RPCErrors: m.reg.Counter("cluster_peer_rpc_errors_total",
+			"Failed RPC attempts to the peer.", l),
+		Retries: m.reg.Counter("cluster_peer_rpc_retries_total",
+			"Backoff re-attempts against the peer.", l),
+		BreakerState: m.reg.Gauge("cluster_breaker_state",
+			"Peer circuit breaker state: 0 closed, 1 half-open, 2 open.", l),
+		BreakerOpens: m.reg.Counter("cluster_breaker_opens_total",
+			"Closed-to-open breaker transitions for the peer.", l),
+	}
+	m.peers[name] = p
+	return p
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClusterMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	cm := NewClusterMetrics(reg)
+
+	cm.Forwards.Inc()
+	cm.HedgedReads.Add(3)
+	cm.HedgeWins.Inc()
+	p := cm.Peer("node-1")
+	if cm.Peer("node-1") != p {
+		t.Fatal("Peer() not cached: second call returned a new block")
+	}
+	p.RPCSeconds.Observe(0.004)
+	p.RPCErrors.Inc()
+	p.BreakerState.Set(BreakerOpen)
+	p.BreakerOpens.Inc()
+	cm.Peer("node-2").BreakerState.Set(BreakerClosed)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := exp.Value("cluster_forward_total"); v != 1 {
+		t.Errorf("cluster_forward_total = %v, want 1", v)
+	}
+	if v, _ := exp.Value("cluster_hedged_reads_total"); v != 3 {
+		t.Errorf("cluster_hedged_reads_total = %v, want 3", v)
+	}
+	states := map[string]float64{}
+	for _, s := range exp.Samples["cluster_breaker_state"] {
+		states[s.Labels["peer"]] = s.Value
+	}
+	if states["node-1"] != BreakerOpen || states["node-2"] != BreakerClosed {
+		t.Errorf("breaker states = %v", states)
+	}
+	found := false
+	for _, s := range exp.Samples["cluster_peer_rpc_seconds_count"] {
+		if s.Labels["peer"] == "node-1" && s.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cluster_peer_rpc_seconds_count{peer=\"node-1\"} missing: %v",
+			exp.Samples["cluster_peer_rpc_seconds_count"])
+	}
+	if typ := exp.Types["cluster_peer_rpc_seconds"]; typ != TypeHistogram {
+		t.Errorf("cluster_peer_rpc_seconds type = %q", typ)
+	}
+}

@@ -1,7 +1,10 @@
 package service
 
 import (
+	"bytes"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -168,5 +171,58 @@ func TestCacheHitRate(t *testing.T) {
 	c.Get("b")
 	if r := c.Stats().HitRate(); r != 0.5 {
 		t.Fatalf("hit rate = %v, want 0.5", r)
+	}
+}
+
+// TestCacheConcurrentEviction hammers the LRU from many goroutines with
+// a working set larger than the byte bound, so Put/Get/evict interleave
+// constantly. Run under -race in CI. Two invariants must hold at every
+// observation point and at the end: the byte bound is never exceeded,
+// and hits + misses exactly equals the number of Get calls (counter
+// conservation — no lookup is lost or double-counted under contention).
+func TestCacheConcurrentEviction(t *testing.T) {
+	const (
+		maxBytes   = 4 << 10
+		goroutines = 8
+		opsEach    = 2000
+		keySpace   = 97 // ~97 keys x ~130 bytes >> maxBytes: constant eviction
+	)
+	c := NewCache(maxBytes)
+	var gets atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := uint64(g)*0x9e3779b97f4a7c15 + 1
+			for i := 0; i < opsEach; i++ {
+				rnd = rnd*6364136223846793005 + 1442695040888963407
+				key := fmt.Sprintf("cell-%03d", rnd%keySpace)
+				if rnd%3 == 0 {
+					size := 64 + int(rnd>>32%128)
+					c.Put(key, bytes.Repeat([]byte{byte(rnd)}, size))
+				} else {
+					gets.Add(1)
+					if data, ok := c.Get(key); ok && len(data) == 0 {
+						t.Error("cache returned an empty payload for a stored key")
+					}
+				}
+				if st := c.Stats(); st.Bytes > st.MaxBytes {
+					t.Errorf("byte bound violated mid-run: %d > %d", st.Bytes, st.MaxBytes)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes || st.Bytes < 0 {
+		t.Fatalf("final bytes out of bounds: %+v", st)
+	}
+	if st.Entries == 0 || st.Evictions == 0 {
+		t.Fatalf("test exercised nothing: %+v", st)
+	}
+	if st.Hits+st.Misses != gets.Load() {
+		t.Fatalf("counter conservation broken: hits %d + misses %d != gets %d",
+			st.Hits, st.Misses, gets.Load())
 	}
 }

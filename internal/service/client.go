@@ -1,0 +1,90 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// ResubmitRetryable is the client half of the StateRetryable contract: a
+// job that a draining (or dead) server failed without finishing is safe
+// to resubmit anywhere, because every simulation is deterministic and
+// cells the first server did complete are reused through the
+// content-addressed cache — the resubmitted job's payload bytes are
+// identical to what the original would have returned.
+//
+// The helper checks the job's state at fromURL and, when it is
+// retryable, posts the original request req to toURL, returning the new
+// job's status. A fromURL that cannot be reached at all is treated as
+// retryable too: an unreachable origin is exactly the node-death case
+// the state exists for. A job in any other state is an error — callers
+// must not duplicate work that finished or is still running.
+func ResubmitRetryable(ctx context.Context, hc *http.Client, fromURL, id, toURL string, req JobRequest) (JobStatus, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	st, reachable, err := fetchStatus(ctx, hc, fromURL, id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if reachable && !st.Retryable {
+		return JobStatus{}, fmt.Errorf("service: job %s on %s is %q, not retryable", id, fromURL, st.State)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	post, err := http.NewRequestWithContext(ctx, http.MethodPost, toURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	post.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(post)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: resubmitting %s to %s: %w", id, toURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return JobStatus{}, fmt.Errorf("service: resubmitting %s to %s: status %d: %s", id, toURL, resp.StatusCode, data)
+	}
+	var newSt JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&newSt); err != nil {
+		return JobStatus{}, err
+	}
+	return newSt, nil
+}
+
+// fetchStatus gets the job's status from base. reachable=false (with a
+// nil error) means the server itself could not be contacted — the
+// node-death case ResubmitRetryable treats as implicitly retryable.
+func fetchStatus(ctx context.Context, hc *http.Client, base, id string) (st JobStatus, reachable bool, err error) {
+	get, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return JobStatus{}, false, err
+	}
+	resp, err := hc.Do(get)
+	if err != nil {
+		if ctx.Err() != nil {
+			return JobStatus{}, false, ctx.Err()
+		}
+		return JobStatus{}, false, nil // origin unreachable: node death
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		// The origin is up but forgot the job (restarted without a
+		// journal): resubmission is still the safe move.
+		return JobStatus{}, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return JobStatus{}, false, fmt.Errorf("service: status of %s on %s: %d: %s", id, base, resp.StatusCode, data)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, false, err
+	}
+	return st, true, nil
+}

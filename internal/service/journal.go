@@ -18,8 +18,12 @@ import (
 // append-only NDJSON, one record per line, fsynced per append; a torn
 // final line (crash mid-write) is tolerated and ignored on replay.
 
-// journalRecord is one NDJSON line of the job journal.
-type journalRecord struct {
+// JournalRecord is one NDJSON line of the job journal. It is exported
+// as the wire unit of journal replication: a cluster node mirrors every
+// record it appends to its replica peers (see Config.OnJournal and
+// internal/cluster), so a surviving replica can re-own a dead peer's
+// unfinished jobs.
+type JournalRecord struct {
 	// Op is "submit" (job accepted; Req holds the original request) or
 	// "done" (job reached a terminal state; State holds which).
 	Op    string      `json:"op"`
@@ -38,67 +42,70 @@ type journal struct {
 
 // openJournal reads back any existing journal at path (tolerating a
 // torn final record), truncates any torn tail so future appends start on
-// a record boundary, and opens the file for appending.
-func openJournal(path string) (*journal, []journalRecord, error) {
-	recs, validLen, err := readJournal(path)
+// a record boundary, and opens the file for appending. torn counts the
+// torn-tail records dropped during recovery (0 or 1), so the daemon can
+// surface crash-corruption in /metrics instead of only logging it.
+func openJournal(path string) (jl *journal, recs []JournalRecord, torn int, err error) {
+	recs, validLen, torn, err := readJournal(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("service: opening journal: %w", err)
+		return nil, nil, 0, fmt.Errorf("service: opening journal: %w", err)
 	}
 	if st, err := f.Stat(); err == nil && st.Size() > validLen {
 		if err := f.Truncate(validLen); err != nil {
 			f.Close()
-			return nil, nil, fmt.Errorf("service: truncating torn journal tail: %w", err)
+			return nil, nil, 0, fmt.Errorf("service: truncating torn journal tail: %w", err)
 		}
 	}
-	return &journal{f: f}, recs, nil
+	return &journal{f: f}, recs, torn, nil
 }
 
-// readJournal parses the journal, returning its records and the byte
+// readJournal parses the journal, returning its records, the byte
 // length of the valid prefix (everything up to and including the last
-// parseable, newline-terminated record). A torn final record — crash
-// mid-append — is excluded from both; corruption anywhere earlier is an
-// error, because whole-record appends cannot produce it.
-func readJournal(path string) ([]journalRecord, int64, error) {
+// parseable, newline-terminated record), and the number of torn tail
+// records excluded. A torn final record — crash mid-append — is excluded
+// from records and length; corruption anywhere earlier is an error,
+// because whole-record appends cannot produce it.
+func readJournal(path string) (recs []JournalRecord, validLen int64, torn int, err error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, 0, nil
+		return nil, 0, 0, nil
 	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("service: reading journal: %w", err)
+		return nil, 0, 0, fmt.Errorf("service: reading journal: %w", err)
 	}
-	var recs []journalRecord
-	var validLen int64
 	line := 0
 	for rest := data; len(rest) > 0; {
 		idx := bytes.IndexByte(rest, '\n')
 		if idx < 0 {
-			break // unterminated tail: torn
+			torn++ // unterminated tail
+			break
 		}
 		line++
 		text := bytes.TrimSpace(rest[:idx])
 		if len(text) > 0 {
-			var r journalRecord
+			var r JournalRecord
 			if err := json.Unmarshal(text, &r); err != nil {
 				if idx == len(rest)-1 {
-					break // final line: torn (partial write that included the newline)
+					torn++ // final line: torn (partial write that included the newline)
+					break
 				}
-				return nil, 0, fmt.Errorf("service: journal line %d corrupt: %v", line, err)
+				return nil, 0, 0, fmt.Errorf("service: journal line %d corrupt: %v", line, err)
 			}
 			recs = append(recs, r)
 		}
 		validLen += int64(idx) + 1
 		rest = rest[idx+1:]
 	}
-	return recs, validLen, nil
+	return recs, validLen, torn, nil
 }
 
 // append durably records r: the line is written and fsynced before
 // append returns, so a record the client observed survives kill -9.
-func (jl *journal) append(r journalRecord) error {
+func (jl *journal) append(r JournalRecord) error {
 	if jl == nil {
 		return nil
 	}
@@ -141,7 +148,7 @@ type pendingJob struct {
 // sequence number ever issued. Record order within one job is not
 // guaranteed: the submit append races against a fast worker's done
 // append, so a done record may precede its own submit.
-func replayJournal(recs []journalRecord) (pending []pendingJob, maxSeq uint64) {
+func replayJournal(recs []JournalRecord) (pending []pendingJob, maxSeq uint64) {
 	reqs := make(map[string]*JobRequest)
 	done := make(map[string]bool)
 	var order []string

@@ -11,7 +11,7 @@ import (
 
 func TestJournalReplayFoldsRecords(t *testing.T) {
 	req := JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4}
-	pending, maxSeq := replayJournal([]journalRecord{
+	pending, maxSeq := replayJournal([]JournalRecord{
 		{Op: "submit", ID: "job-000001", Req: &req},
 		{Op: "submit", ID: "job-000002", Req: &req},
 		{Op: "submit", ID: "job-000003", Req: &req},
@@ -34,7 +34,7 @@ func TestJournalReplayFoldsRecords(t *testing.T) {
 // done record may land first; such a job is still terminal.
 func TestJournalReplayDoneBeforeSubmit(t *testing.T) {
 	req := JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4}
-	pending, maxSeq := replayJournal([]journalRecord{
+	pending, maxSeq := replayJournal([]JournalRecord{
 		{Op: "done", ID: "job-000001", State: StateDone},
 		{Op: "submit", ID: "job-000001", Req: &req},
 		{Op: "submit", ID: "job-000002", Req: &req},
@@ -55,7 +55,7 @@ func TestJournalToleratesTornTail(t *testing.T) {
 	if err := os.WriteFile(path, []byte(full+torn), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	jl, recs, err := openJournal(path)
+	jl, recs, _, err := openJournal(path)
 	if err != nil {
 		t.Fatalf("torn tail should be tolerated: %v", err)
 	}
@@ -64,10 +64,10 @@ func TestJournalToleratesTornTail(t *testing.T) {
 		t.Fatalf("recs = %+v, want the one intact record", recs)
 	}
 	// Appends after recovery extend the same file and read back.
-	if err := jl.append(journalRecord{Op: "done", ID: "job-000001", State: StateDone}); err != nil {
+	if err := jl.append(JournalRecord{Op: "done", ID: "job-000001", State: StateDone}); err != nil {
 		t.Fatal(err)
 	}
-	recs2, _, err := readJournal(path)
+	recs2, _, _, err := readJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestJournalRejectsMidFileCorruption(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := openJournal(path); err == nil {
+	if _, _, _, err := openJournal(path); err == nil {
 		t.Fatal("mid-file corruption should fail loudly, not be skipped")
 	}
 }
@@ -95,14 +95,14 @@ func TestJournalRejectsMidFileCorruption(t *testing.T) {
 func TestServerRecoversJobsFromJournal(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "journal.ndjson")
-	jl, _, err := openJournal(path)
+	jl, _, _, err := openJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	req := JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4}
 	for i := 1; i <= 2; i++ {
 		id := "job-" + strings.Repeat("0", 5) + strconv.Itoa(i)
-		if err := jl.append(journalRecord{Op: "submit", ID: id, Req: &req}); err != nil {
+		if err := jl.append(JournalRecord{Op: "submit", ID: id, Req: &req}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -124,12 +124,31 @@ func TestServerRecoversJobsFromJournal(t *testing.T) {
 
 	// The journal now carries terminal records for everything: a second
 	// boot replays nothing.
-	recs, _, err := readJournal(path)
+	recs, _, _, err := readJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	pending, _ := replayJournal(recs)
 	if len(pending) != 0 {
 		t.Fatalf("jobs still pending after completion: %+v", pending)
+	}
+}
+
+// Satellite of the torn-tail tolerance above: a tail dropped during
+// recovery is not just logged, it is counted in
+// service_journal_torn_tails_total so operators can alert on crash
+// corruption from /metrics.
+func TestJournalTornTailCountedInMetrics(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.ndjson")
+	done := `{"op":"submit","id":"job-000001","req":{"benchmark":"fft","setup":"CB-One","cores":4}}` + "\n" +
+		`{"op":"done","id":"job-000001","state":"done"}` + "\n"
+	torn := `{"op":"submit","id":"job-0000` // crash mid-append
+	if err := os.WriteFile(path, []byte(done+torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, Parallelism: 1, JournalPath: path})
+	if got := metricValue(t, ts, "service_journal_torn_tails_total"); got != 1 {
+		t.Fatalf("service_journal_torn_tails_total = %v, want 1", got)
 	}
 }

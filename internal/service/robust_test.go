@@ -1,7 +1,9 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"strings"
 	"testing"
@@ -133,4 +135,74 @@ func TestRetryAfterJitter(t *testing.T) {
 	if len(seen) < 2 {
 		t.Fatalf("retryAfter never varied: %v", seen)
 	}
+}
+
+// TestRetryableRejectionHeaders pins the shared backpressure contract:
+// both retryable rejections — 429 when the queue is full and 503 while
+// draining — go through the same helper and therefore both carry a
+// jittered Retry-After header (1-4 seconds) and a retryable error body.
+func TestRetryableRejectionHeaders(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Parallelism: 1})
+
+	postJob := func(req JobRequest) *http.Response {
+		t.Helper()
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	checkRetryable := func(resp *http.Response, wantCode int) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("status = %d, want %d", resp.StatusCode, wantCode)
+		}
+		ra := resp.Header.Get("Retry-After")
+		secs, err := time.ParseDuration(ra + "s")
+		if err != nil || secs < time.Second || secs > 4*time.Second {
+			t.Fatalf("%d rejection Retry-After = %q, want 1..4 seconds", wantCode, ra)
+		}
+		var apiErr apiError
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+			t.Fatal(err)
+		}
+		if !apiErr.Retryable || apiErr.Error == "" {
+			t.Fatalf("%d rejection body = %+v, want retryable with message", wantCode, apiErr)
+		}
+	}
+
+	// Occupy the only worker and the one queue slot.
+	blocker, code := submit(t, ts, JobRequest{Setups: []string{"CB-One"}, Cores: 16})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit blocker = %d", code)
+	}
+	waitState(t, ts, blocker.ID, StateRunning)
+	queued, code := submit(t, ts, JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit queued = %d", code)
+	}
+
+	// Queue full: 429 with the shared retryable shape.
+	checkRetryable(postJob(JobRequest{Benchmark: "lu", Setup: "CB-One", Cores: 4}), http.StatusTooManyRequests)
+
+	// Empty the server and drain it: 503 with the same shape.
+	for _, id := range []string{blocker.ID, queued.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	checkRetryable(postJob(JobRequest{Benchmark: "fft", Setup: "CB-One", Cores: 4}), http.StatusServiceUnavailable)
 }

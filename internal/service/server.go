@@ -53,6 +53,31 @@ type Config struct {
 	JournalPath string
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
+	// Registry, when set, receives the daemon's metric families instead
+	// of a private registry — so an embedding layer (the cluster node)
+	// can surface its own series through the same GET /metrics.
+	Registry *obs.Registry
+
+	// CellResolver, when set, is consulted on a local cache miss before
+	// a cell is simulated: a cluster node uses it to fetch the cell's
+	// bytes from the peer that owns (or already computed) the result.
+	// Returning ok=false means "resolve locally" — the server simulates
+	// the cell itself, so a fully partitioned node degrades to
+	// standalone behavior instead of failing. The returned bytes are
+	// adopted into the local cache. Traced and checkpointed cells never
+	// consult the resolver (their artifacts must come from a local run).
+	CellResolver func(ctx context.Context, c CellSpec, key string) (data []byte, ok bool)
+	// OnCacheFill, when set, is called after a fresh local simulation
+	// fills the cache — the hook a cluster node uses to gossip fills to
+	// the key's owner and replicas. It is called synchronously on the
+	// worker; implementations must not block.
+	OnCacheFill func(key string, data []byte)
+	// OnJournal, when set, receives a copy of every journal record as it
+	// is appended (submit and terminal transitions), whether or not a
+	// JournalPath is configured — the hook a cluster node uses to
+	// replicate its journal stream to peers. Called synchronously;
+	// implementations must not block.
+	OnJournal func(rec JournalRecord)
 }
 
 func (c Config) fill() Config {
@@ -91,6 +116,11 @@ type Server struct {
 	draining atomic.Bool
 	busy     atomic.Int64
 
+	// remoteSem bounds the simulations run on behalf of cluster peers
+	// (ResolveCell) so stolen work cannot starve the local worker pool's
+	// own jobs of CPU beyond one extra poolful.
+	remoteSem chan struct{}
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []string // submission order, for listing
@@ -116,8 +146,10 @@ type Server struct {
 	sim            *obs.SimMetrics
 	cellsSimulated *obs.Counter
 	cellsCached    *obs.Counter
+	cellsRemote    *obs.Counter
 	jobsSubmitted  *obs.Counter
 	jobsRejected   *obs.Counter
+	journalTorn    *obs.Counter
 }
 
 // New builds a server and starts its worker pool. With a configured
@@ -126,20 +158,25 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.fill()
 	s := &Server{
-		cfg:    cfg,
-		cache:  NewCache(cfg.CacheBytes),
-		jobsCh: make(chan *job, cfg.QueueDepth),
-		quit:   make(chan struct{}),
-		jobs:   make(map[string]*job),
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheBytes),
+		jobsCh:    make(chan *job, cfg.QueueDepth),
+		quit:      make(chan struct{}),
+		jobs:      make(map[string]*job),
+		remoteSem: make(chan struct{}, cfg.Workers),
 	}
 	s.registerMetrics()
 	s.routes()
 	if cfg.JournalPath != "" {
-		jl, recs, err := openJournal(cfg.JournalPath)
+		jl, recs, torn, err := openJournal(cfg.JournalPath)
 		if err != nil {
 			return nil, err
 		}
 		s.journal = jl
+		if torn > 0 {
+			cfg.Logf("journal replay: dropped %d torn tail record(s) (crash mid-append)", torn)
+			s.journalTorn.Add(uint64(torn))
+		}
 		pending, maxSeq := replayJournal(recs)
 		s.nextID.Store(maxSeq)
 		for _, p := range pending {
@@ -263,14 +300,24 @@ func (s *Server) makeJob(id string, req JobRequest) (*job, error) {
 	j.traceWanted = req.Trace
 	j.checkpoints = req.Checkpoints
 	j.ckInterval = req.CheckpointInterval
-	if s.journal != nil {
+	if s.journal != nil || s.cfg.OnJournal != nil {
 		j.onFinish = func(state string) {
-			if err := s.journal.append(journalRecord{Op: "done", ID: id, State: state}); err != nil {
-				s.cfg.Logf("journal: recording %s -> %s: %v", id, state, err)
-			}
+			s.recordJournal(JournalRecord{Op: "done", ID: id, State: state})
 		}
 	}
 	return j, nil
+}
+
+// recordJournal appends rec to the local journal (when configured) and
+// mirrors it to the OnJournal hook (when set). A journal write error is
+// logged, not fatal — the job still runs; it just won't survive a crash.
+func (s *Server) recordJournal(rec JournalRecord) {
+	if err := s.journal.append(rec); err != nil {
+		s.cfg.Logf("journal: recording %s %s: %v", rec.Op, rec.ID, err)
+	}
+	if s.cfg.OnJournal != nil {
+		s.cfg.OnJournal(rec)
+	}
 }
 
 // retryAfter returns the next jittered Retry-After hint (1-4 seconds):
@@ -280,18 +327,31 @@ func (s *Server) retryAfter() string {
 	return fmt.Sprint(1 + s.retrySeq.Add(1)%4)
 }
 
+// rejectRetryable writes a backpressure rejection (429 queue-full, 503
+// draining): every retryable rejection carries the jittered Retry-After
+// hint, so clients of either path back off without synchronizing.
+func (s *Server) rejectRetryable(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Retry-After", s.retryAfter())
+	writeJSON(w, code, apiError{Error: msg, Retryable: true})
+}
+
 // registerMetrics declares the daemon's operational metrics and the
 // shared simulator histograms on one registry. Gauges that mirror live
 // state (queue depth, busy workers, cache size) are computed at
 // exposition time; counters are incremented on the hot path.
 func (s *Server) registerMetrics() {
-	r := obs.NewRegistry()
+	r := s.cfg.Registry
+	if r == nil {
+		r = obs.NewRegistry()
+	}
 	s.reg = r
 	s.sim = obs.NewSimMetrics(r)
 	s.jobsSubmitted = r.Counter("cbsimd_jobs_submitted_total", "Jobs accepted into the queue.")
 	s.jobsRejected = r.Counter("cbsimd_jobs_rejected_total", "Jobs rejected with backpressure (queue full).")
 	s.cellsSimulated = r.Counter("cbsimd_cells_simulated_total", "Cells resolved by running a fresh simulation.")
 	s.cellsCached = r.Counter("cbsimd_cells_cached_total", "Cells served from the content-addressed cache.")
+	s.cellsRemote = r.Counter("cbsimd_cells_remote_total", "Cells resolved by a cluster peer (cache fetch or forwarded compute).")
+	s.journalTorn = r.Counter("service_journal_torn_tails_total", "Torn journal tail records dropped during replay-on-boot (crash-mid-append corruption).")
 	r.GaugeFunc("cbsimd_queue_depth", "Queued-but-not-running jobs.",
 		func() float64 { return float64(len(s.jobsCh)) })
 	r.GaugeFunc("cbsimd_queue_capacity", "Job queue capacity.",
@@ -465,38 +525,42 @@ func (s *Server) runCell(j *job, i int) (err error) {
 	if j.checkpoints {
 		return s.runCheckpointedCell(j, i, c, p, setup, key)
 	}
-	var wall time.Duration
-	co := experiments.Options{
-		Cores:       c.Cores,
-		CBEntries:   c.Entries,
-		Limit:       c.Limit,
-		Parallelism: 1, // a cell is a single simulation
-		Context:     j.ctx,
-		Metrics:     s.sim,
-		// Cache-adjacent cells share configurations; warm-starting from
-		// the experiments machine pool skips rebuilding the machine.
-		// Results are byte-identical (tracing still works: restore
-		// detaches the previous run's observers).
-		WarmStart:   true,
-		CycleStacks: c.Cycles,
-		Progress: func(e experiments.RunEvent) {
-			if !e.Done {
-				j.emit(Event{
-					Type: "cell_start", Job: j.id, Cell: i + 1, Cells: len(j.cells),
-					Benchmark: c.Benchmark, Setup: c.Setup,
-				})
-				return
-			}
-			wall = e.Wall
-		},
+	// Local miss: let the cluster layer (when wired) fetch the bytes from
+	// the peer that owns or already computed this cell. A remote result
+	// is byte-identical to a local run by the determinism contract, so it
+	// is adopted into the cache and reported like a hit. ok=false means
+	// the cluster could not help (standalone, partitioned, peers busy):
+	// fall through and simulate locally — degradation, never failure.
+	// Traced cells always run locally (the trace must be this run's).
+	if s.cfg.CellResolver != nil && !j.traceWanted {
+		if data, ok := s.cfg.CellResolver(j.ctx, c, key); ok {
+			s.cache.Put(key, data)
+			s.cellsRemote.Inc()
+			j.cellDone(i, CellResult{Cached: true, Remote: true, Data: data}, Event{
+				Type: "cell_done", Job: j.id, Cell: i + 1, Cells: len(j.cells),
+				Benchmark: c.Benchmark, Setup: c.Setup, Cached: true, Remote: true,
+			})
+			return nil
+		}
 	}
+	var wall time.Duration
 	var chrome bytes.Buffer
 	var cw *trace.ChromeWriter
+	var sink trace.Sink
 	if j.traceWanted {
 		cw = trace.NewChromeWriter(&chrome)
-		co.Trace = cw
+		sink = cw
 	}
-	res, err := experiments.RunBenchmark(p, setup, c.SyncStyle(), co)
+	data, cycles, err := s.simulateCell(j.ctx, c, p, setup, key, sink, func(e experiments.RunEvent) {
+		if !e.Done {
+			j.emit(Event{
+				Type: "cell_start", Job: j.id, Cell: i + 1, Cells: len(j.cells),
+				Benchmark: c.Benchmark, Setup: c.Setup,
+			})
+			return
+		}
+		wall = e.Wall
+	})
 	if err != nil {
 		// A liveness failure carries a per-core dump of where every core
 		// was stuck; surface it in the daemon log (the job error string
@@ -513,19 +577,145 @@ func (s *Server) runCell(j *job, i int) (err error) {
 		}
 		j.setTrace(chrome.Bytes())
 	}
-	data, err := json.Marshal(cellPayload{Spec: c, Stats: res.Stats, Energy: res.Energy})
-	if err != nil {
-		return fmt.Errorf("marshaling result for %s/%s: %w", c.Benchmark, c.Setup, err)
-	}
-	s.cache.Put(key, data)
-	s.cellsSimulated.Inc()
-	s.simRate.Observe(res.Stats.Cycles, wall)
+	s.simRate.Observe(cycles, wall)
 	j.cellDone(i, CellResult{WallMS: wallMS(wall), Data: data}, Event{
 		Type: "cell_done", Job: j.id, Cell: i + 1, Cells: len(j.cells),
 		Benchmark: c.Benchmark, Setup: c.Setup,
-		Cycles: res.Stats.Cycles, WallMS: wallMS(wall),
+		Cycles: cycles, WallMS: wallMS(wall),
 	})
 	return nil
+}
+
+// simulateCell runs one cell fresh, caches and gossips the canonical
+// payload, and returns its bytes — the simulation core shared by job
+// workers (runCell) and the cluster peer-work path (ResolveCell). tr,
+// when non-nil, receives the run's trace events; progress, when non-nil,
+// observes the run lifecycle.
+func (s *Server) simulateCell(ctx context.Context, c CellSpec, p workload.Profile, setup experiments.Setup, key string, tr trace.Sink, progress func(experiments.RunEvent)) (data []byte, cycles uint64, err error) {
+	co := experiments.Options{
+		Cores:       c.Cores,
+		CBEntries:   c.Entries,
+		Limit:       c.Limit,
+		Parallelism: 1, // a cell is a single simulation
+		Context:     ctx,
+		Metrics:     s.sim,
+		// Cache-adjacent cells share configurations; warm-starting from
+		// the experiments machine pool skips rebuilding the machine.
+		// Results are byte-identical (tracing still works: restore
+		// detaches the previous run's observers).
+		WarmStart:   true,
+		CycleStacks: c.Cycles,
+		Progress:    progress,
+	}
+	if tr != nil {
+		co.Trace = tr
+	}
+	res, err := experiments.RunBenchmark(p, setup, c.SyncStyle(), co)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, err = json.Marshal(cellPayload{Spec: c, Stats: res.Stats, Energy: res.Energy})
+	if err != nil {
+		return nil, 0, fmt.Errorf("marshaling result for %s/%s: %w", c.Benchmark, c.Setup, err)
+	}
+	s.cache.Put(key, data)
+	s.cellsSimulated.Inc()
+	if s.cfg.OnCacheFill != nil {
+		s.cfg.OnCacheFill(key, data)
+	}
+	return data, res.Stats.Cycles, nil
+}
+
+// ---------------------------------------------------------- cluster surface
+
+// remoteAdmitWait bounds how long a peer's cell request waits for a
+// remote work slot before being bounced with ErrBusy (the caller falls
+// back to computing locally or asking another replica).
+const remoteAdmitWait = 250 * time.Millisecond
+
+// ResolveCell resolves one normalized cell on behalf of a cluster peer:
+// a local cache hit is returned immediately; otherwise the cell is
+// simulated fresh, gated by a semaphore sized to the worker pool so
+// stolen work cannot starve local jobs. It returns ErrBusy when no slot
+// frees up within a short admission window and ErrDraining during
+// graceful drain — both retryable on another node (or locally) by the
+// caller.
+func (s *Server) ResolveCell(ctx context.Context, c CellSpec) (data []byte, cached bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.cfg.Logf("remote cell %s/%s panicked: %v\n%s", c.Benchmark, c.Setup, r, debug.Stack())
+			err = fmt.Errorf("cell %s/%s panicked: %v", c.Benchmark, c.Setup, r)
+		}
+	}()
+	if s.draining.Load() {
+		return nil, false, ErrDraining
+	}
+	key := c.Key(s.cfg.VersionSalt)
+	if data, ok := s.cache.Get(key); ok {
+		return data, true, nil
+	}
+	// The spec arrives over the wire from a peer: validate it like a
+	// submission would before burning a worker on it.
+	p, err := workload.ByName(c.Benchmark)
+	if err != nil {
+		return nil, false, err
+	}
+	setup, err := experiments.SetupByName(c.Setup)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := machine.ValidateCores(c.Cores); err != nil {
+		return nil, false, err
+	}
+	admit := time.NewTimer(remoteAdmitWait)
+	defer admit.Stop()
+	select {
+	case s.remoteSem <- struct{}{}:
+		defer func() { <-s.remoteSem }()
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	case <-admit.C:
+		return nil, false, ErrBusy
+	}
+	data, _, err = s.simulateCell(ctx, c, p, setup, key, nil, nil)
+	return data, false, err
+}
+
+// CacheGet looks up the local result cache only — no resolver, no
+// recursion — so peers can probe this node's cache over /v1/cluster.
+func (s *Server) CacheGet(key string) ([]byte, bool) { return s.cache.Get(key) }
+
+// CachePut installs a replicated fill gossiped by a peer. The bytes are
+// trusted within the cluster: every fill is the deterministic payload of
+// its content-addressed key.
+func (s *Server) CachePut(key string, data []byte) { s.cache.Put(key, data) }
+
+// CacheStats snapshots the result-cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// VersionSalt returns the configured cache version salt, so the cluster
+// layer hashes cell keys exactly as the job workers do.
+func (s *Server) VersionSalt() string { return s.cfg.VersionSalt }
+
+// LoadInfo is a point-in-time snapshot of the server's work level, used
+// by cluster peers to decide where to forward cells.
+type LoadInfo struct {
+	Workers    int  `json:"workers"`
+	Busy       int  `json:"busy"`
+	QueueDepth int  `json:"queue_depth"`
+	QueueCap   int  `json:"queue_cap"`
+	Draining   bool `json:"draining"`
+}
+
+// Load snapshots the server's current work level.
+func (s *Server) Load() LoadInfo {
+	return LoadInfo{
+		Workers:    s.cfg.Workers,
+		Busy:       int(s.busy.Load()),
+		QueueDepth: len(s.jobsCh),
+		QueueCap:   cap(s.jobsCh),
+		Draining:   s.draining.Load(),
+	}
 }
 
 // runCheckpointedCell resolves a cell by recording it for time-travel
@@ -574,6 +764,9 @@ func (s *Server) runCheckpointedCell(j *job, i int, c CellSpec, p workload.Profi
 		return fmt.Errorf("marshaling result for %s/%s: %w", c.Benchmark, c.Setup, err)
 	}
 	s.cache.Put(key, data)
+	if s.cfg.OnCacheFill != nil {
+		s.cfg.OnCacheFill(key, data)
+	}
 	s.cellsSimulated.Inc()
 	s.simRate.Observe(st.Cycles, wall)
 	j.cellDone(i, CellResult{WallMS: wallMS(wall), Data: data}, Event{
@@ -653,29 +846,29 @@ type apiError struct {
 	Diagnostics []string `json:"diagnostics,omitempty"`
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// Sentinel errors returned by SubmitJob (the programmatic submission
+// path shared by the HTTP handler, cluster job adoption, and embedders).
+var (
+	// ErrDraining rejects work arriving during graceful drain.
+	ErrDraining = errors.New("service: server draining")
+	// ErrQueueFull rejects submissions beyond the queue bound.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrBusy rejects remote cell work when every remote slot is taken.
+	ErrBusy = errors.New("service: all remote work slots busy")
+)
+
+// SubmitJob validates, registers, enqueues, and journals one job — the
+// programmatic equivalent of POST /v1/jobs. It returns ErrDraining or
+// ErrQueueFull for the retryable rejections; any other error is a
+// validation failure (HTTP 400 territory).
+func (s *Server) SubmitJob(req JobRequest) (JobStatus, error) {
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", s.retryAfter())
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server draining", Retryable: true})
-		return
-	}
-	var req JobRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
-		return
+		return JobStatus{}, ErrDraining
 	}
 	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
 	j, err := s.makeJob(id, req)
 	if err != nil {
-		e := apiError{Error: err.Error()}
-		var ve *verifyError
-		if errors.As(err, &ve) {
-			e.Diagnostics = ve.diags
-		}
-		writeJSON(w, http.StatusBadRequest, e)
-		return
+		return JobStatus{}, err
 	}
 
 	s.mu.Lock()
@@ -698,19 +891,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		j.cancel()
 		s.jobsRejected.Inc()
-		w.Header().Set("Retry-After", s.retryAfter())
-		writeJSON(w, http.StatusTooManyRequests, apiError{Error: "job queue full", Retryable: true})
-		return
+		return JobStatus{}, ErrQueueFull
 	}
 	// Journal after the enqueue commits, before the client sees 202: a
 	// crash in between loses only a job whose acceptance was never
-	// acknowledged. A journal write error is logged, not fatal — the
-	// job still runs; it just won't survive a crash.
-	if err := s.journal.append(journalRecord{Op: "submit", ID: id, Req: &req}); err != nil {
-		s.cfg.Logf("journal: recording submit %s: %v", id, err)
-	}
+	// acknowledged.
+	s.recordJournal(JournalRecord{Op: "submit", ID: id, Req: &req})
 	s.jobsSubmitted.Inc()
-	writeJSON(w, http.StatusAccepted, j.status())
+	return j.status(), nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	st, err := s.SubmitJob(req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrDraining):
+		s.rejectRetryable(w, http.StatusServiceUnavailable, "server draining")
+	case errors.Is(err, ErrQueueFull):
+		s.rejectRetryable(w, http.StatusTooManyRequests, "job queue full")
+	default:
+		e := apiError{Error: err.Error()}
+		var ve *verifyError
+		if errors.As(err, &ve) {
+			e.Diagnostics = ve.diags
+		}
+		writeJSON(w, http.StatusBadRequest, e)
+	}
 }
 
 // jobFor resolves the path's job ID, writing a 404 if unknown.
